@@ -1,0 +1,48 @@
+"""Ablation — Berlekamp–Welch (linear system) vs Gao (extended Euclid).
+
+DESIGN.md calls this design choice out: both decoders implement the same
+noisy-interpolation radius, so CSM can use either.  The benchmark compares
+their wall-clock cost and verifies they agree on every decodable input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.berlekamp_welch import BerlekampWelchDecoder
+from repro.coding.gao import GaoDecoder
+from repro.coding.reed_solomon import ReedSolomonCode
+
+
+def _corrupted_word(field, rng, length=32, dimension=8):
+    code = ReedSolomonCode(field, field.distinct_points(length), dimension)
+    message = rng.integers(0, field.order, size=dimension)
+    word = code.encode(message)
+    positions = rng.choice(length, size=code.correction_radius, replace=False)
+    for pos in positions:
+        word[pos] = field.add(int(word[pos]), int(rng.integers(1, field.order)))
+    return code, message, word
+
+
+@pytest.mark.parametrize("decoder_name", ["berlekamp-welch", "gao"])
+def test_decoder_ablation(benchmark, field, rng, decoder_name):
+    code, message, word = _corrupted_word(field, rng)
+    decoder = (
+        BerlekampWelchDecoder(code) if decoder_name == "berlekamp-welch" else GaoDecoder(code)
+    )
+    result = benchmark(decoder.decode, word)
+    assert result.polynomial.coefficient_array(code.dimension).tolist() == [
+        int(m) % field.order for m in message
+    ]
+
+
+def test_decoders_agree_on_random_inputs(benchmark, field, rng):
+    def agreement_sweep():
+        for _ in range(5):
+            code, _, word = _corrupted_word(field, rng, length=24, dimension=6)
+            bw = BerlekampWelchDecoder(code).decode(word)
+            gao = GaoDecoder(code).decode(word)
+            assert bw.polynomial == gao.polynomial
+            assert set(bw.error_positions) == set(gao.error_positions)
+        return True
+
+    assert benchmark(agreement_sweep)

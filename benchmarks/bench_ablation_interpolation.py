@@ -1,0 +1,50 @@
+"""Ablation — interpolation/evaluation strategies for the coding layer.
+
+Compares the three equivalent ways of producing coded values (direct
+Lagrange-coefficient matrix multiplication, interpolation + subproduct-tree
+multi-point evaluation, and Vandermonde solves) that Section 6.2's
+centralised worker chooses between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf.fast_eval import SubproductTree
+from repro.gf.lagrange import lagrange_interpolate
+from repro.gf.vandermonde import vandermonde_solve
+from repro.lcc.encoder import CodedStateEncoder
+from repro.lcc.scheme import LagrangeScheme
+
+
+@pytest.fixture
+def scheme(field):
+    return LagrangeScheme(field, num_machines=8, num_nodes=32)
+
+
+def test_matrix_path(benchmark, scheme, rng):
+    encoder = CodedStateEncoder(scheme)
+    values = rng.integers(0, 1000, size=(8, 2))
+    coded = benchmark(encoder.encode, values)
+    assert coded.shape == (32, 2)
+
+
+def test_interpolation_path(benchmark, scheme, rng):
+    encoder = CodedStateEncoder(scheme)
+    values = rng.integers(0, 1000, size=(8, 2))
+    coded = benchmark(encoder.encode_via_interpolation, values)
+    assert np.array_equal(coded, encoder.encode(values))
+
+
+def test_interpolation_strategies_agree(benchmark, field, rng):
+    points = field.distinct_points(16)
+    values = [int(v) for v in rng.integers(0, field.order, size=16)]
+
+    def all_three():
+        direct = lagrange_interpolate(field, points, values)
+        tree = SubproductTree(field, points).interpolate(values)
+        vandermonde = vandermonde_solve(field, points, np.array(values))
+        return direct, tree, vandermonde
+
+    direct, tree, vandermonde = benchmark(all_three)
+    assert direct == tree
+    assert direct.coefficient_array(16).tolist() == list(vandermonde)

@@ -1,0 +1,66 @@
+"""Figure 5 / Algorithm 1 / Section 6.1 — INTERMIX behaviour.
+
+Checks soundness (every cheating strategy caught), the logarithmic number of
+interaction rounds, the constant-time commoner verification, and the
+Section 6.1 worst-case overhead accounting.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.complexity import intermix_worst_case_overhead
+from repro.experiments import intermix_report
+from repro.intermix.protocol import IntermixProtocol
+from repro.intermix.worker import WorkerStrategy
+
+
+def test_intermix_soundness_and_interaction_rounds(benchmark):
+    rows = benchmark(
+        intermix_report.soundness_rows, vector_lengths=(16, 64), num_nodes=12, trials=3
+    )
+    for row in rows:
+        if row["worker"] == "honest":
+            assert row["accepted_fraction"] == 1.0
+        else:
+            assert row["fraud_caught_fraction"] == 1.0
+            assert row["max_queries"] <= row["2*log2K"]
+
+
+def test_intermix_overhead_within_worst_case(benchmark):
+    rows = benchmark(
+        intermix_report.overhead_rows, vector_lengths=(16, 64, 128), num_nodes=12
+    )
+    for row in rows:
+        measured_total = row["worker_ops"] + row["auditor_ops_total"] + row["commoner_ops_total"]
+        assert measured_total <= row["worst_case_formula"] * 2  # same order as 6.1
+        # the overhead is dominated by the (J + 1) product computations
+        assert row["auditor_ops_total"] >= row["J"] * row["worker_ops"] * 0.5
+
+
+def test_commoner_verification_cost_is_constant_in_k(benchmark, field, rng):
+    node_ids = [f"node-{i}" for i in range(10)]
+
+    def commoner_costs():
+        costs = []
+        for length in (8, 64, 512):
+            protocol = IntermixProtocol(
+                field, node_ids, fault_fraction=0.3, rng=np.random.default_rng(0),
+                worker_strategies={n: WorkerStrategy.CORRUPT_RESULT for n in node_ids},
+            )
+            matrix = rng.integers(0, field.order, size=(10, length))
+            vector = rng.integers(0, field.order, size=length)
+            outcome = protocol.run(matrix, vector)
+            assert not outcome.accepted
+            costs.append(max(outcome.commoner_operations.values() or [0]))
+        return costs
+
+    costs = benchmark(commoner_costs)
+    assert max(costs) <= 10 * max(min(costs), 1)  # flat, not growing with K
+
+
+def test_committee_size_formula(benchmark):
+    rows = benchmark(intermix_report.committee_rows)
+    for row in rows:
+        assert row["actual_failure_probability"] <= row["eps_target"]
+        assert row["J"] == math.ceil(math.log(row["eps_target"]) / math.log(row["mu"]))

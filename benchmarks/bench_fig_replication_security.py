@@ -1,0 +1,53 @@
+"""Figure 2 / Section 3 — security of the replication baselines.
+
+Measures, by fault injection, the exact number of corruptions each baseline
+survives: full replication tolerates a minority of all N nodes, partial
+replication only a minority of one group of q = N / K nodes.
+"""
+
+from repro.analysis.measurement import (
+    find_breaking_faults,
+    measure_full_replication,
+    measure_partial_replication,
+)
+from repro.gf.prime_field import PrimeField
+from repro.machine.library import bank_account_machine
+
+
+def test_full_replication_tolerates_minority(benchmark, field):
+    machine = bank_account_machine(field, num_accounts=1)
+
+    def sweep():
+        return find_breaking_faults(
+            measure_full_replication, machine, 9, 3, max_faults=5, rounds=1
+        )
+
+    tolerated = benchmark(sweep)
+    assert tolerated == 4  # floor((9 - 1) / 2)
+
+
+def test_partial_replication_security_collapses_by_k(benchmark, field):
+    machine = bank_account_machine(field, num_accounts=1)
+
+    def sweep():
+        return find_breaking_faults(
+            measure_partial_replication, machine, 12, 4, max_faults=4, rounds=1
+        )
+
+    tolerated = benchmark(sweep)
+    # Groups of 3: a concentrated adversary breaks a group with 2 corruptions.
+    assert tolerated == 1
+
+
+def test_csm_outperforms_partial_replication_at_equal_storage(benchmark, field):
+    from repro.analysis.measurement import measure_csm
+
+    machine = bank_account_machine(field, num_accounts=1)
+
+    def sweep():
+        return find_breaking_faults(
+            measure_csm, machine, 12, 4, max_faults=6, rounds=1
+        )
+
+    tolerated = benchmark(sweep)
+    assert tolerated == 4  # (12 - 3 - 1) // 2, vs 1 for partial replication

@@ -1,0 +1,44 @@
+"""Theorems 1 & 2 — simultaneous scaling of storage efficiency and security.
+
+Sweeps the network size N at a fixed fault fraction and checks that the
+measured maximum number of supported machines K (and hence the storage
+efficiency) grows linearly with N while the tolerated fault count also grows
+linearly — the combination neither replication baseline achieves.
+"""
+
+from repro.experiments import scaling
+
+
+def test_scaling_laws_sweep(benchmark):
+    rows = benchmark(
+        scaling.scaling_law_rows, network_sizes=(8, 16, 24), fault_fraction=0.25, degree=1
+    )
+    # Measured K matches the Theorem 1 closed form at every N.
+    for row in rows:
+        assert row["K_measured"] == row["K_formula"]
+    # Both security and storage grow with N (Theorem 1's simultaneous scaling).
+    assert rows[-1]["csm_security"] > rows[0]["csm_security"]
+    assert rows[-1]["csm_storage"] > rows[0]["csm_storage"]
+    # Full replication's storage efficiency stays flat at 1.
+    assert all(row["full_replication_storage"] == 1 for row in rows)
+
+
+def test_partially_synchronous_supports_fewer_machines(benchmark):
+    from repro.analysis.metrics import csm_supported_machines
+
+    def both_settings():
+        return [
+            (
+                n,
+                csm_supported_machines(n, 0.2, 1, partially_synchronous=False),
+                csm_supported_machines(n, 0.2, 1, partially_synchronous=True),
+            )
+            for n in (16, 32, 64, 128)
+        ]
+
+    rows = benchmark(both_settings)
+    for _, sync_k, partial_k in rows:
+        assert sync_k >= partial_k
+    # Both still scale linearly.
+    assert rows[-1][1] >= 4 * rows[0][1] * 0.8
+    assert rows[-1][2] >= 4 * rows[0][2] * 0.8

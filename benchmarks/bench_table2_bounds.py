@@ -1,0 +1,32 @@
+"""Table 2 — fault bounds for consensus, decoding and output delivery.
+
+Sweeps the number of injected Byzantine nodes around the decoding bound and
+checks that coded execution succeeds exactly up to the bound and fails past
+it, for both the synchronous and partially synchronous rules.
+"""
+
+from repro.analysis.bounds import phase_bounds
+from repro.experiments import table2
+
+
+def test_table2_fault_injection_sweep(benchmark):
+    result = benchmark(table2.run, num_nodes=12, num_machines=3, degree=1, rounds=1)
+    sync_rows = [r for r in result["sweep"] if r["setting"] == "synchronous"]
+    # Success exactly up to the decoding bound, failure beyond it.
+    for row in sync_rows:
+        assert row["correct"] == row["within_bound"], row
+    # The formula table carries all six cells.
+    assert len(result["formula"]) == 6
+    bounds = phase_bounds(12, 3, 1)
+    assert result["sync_decoding_bound"] == bounds["synchronous"]["decoding"]
+
+
+def test_table2_decoding_bound_tightens_with_degree(benchmark):
+    def bounds_for_degrees():
+        return {
+            d: phase_bounds(num_nodes=24, num_machines=4, degree=d)["synchronous"]["decoding"]
+            for d in (1, 2, 3)
+        }
+
+    bounds = benchmark(bounds_for_degrees)
+    assert bounds[1] > bounds[2] > bounds[3]

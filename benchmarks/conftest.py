@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Every benchmark module regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md); the `benchmark` fixture times the workload
+while the assertions check that the qualitative shape the paper reports
+still holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf.prime_field import PrimeField
+
+
+@pytest.fixture(scope="session")
+def field():
+    return PrimeField()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

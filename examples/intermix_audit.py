@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""INTERMIX in action: delegating the coding work to an untrusted worker.
+
+The script delegates the encoding of a round's commands to a single worker
+node and shows the three possible outcomes:
+
+1. an honest worker — accepted, everyone else only does constant work;
+2. a worker that broadcasts a wrong product but answers queries truthfully —
+   caught at the first bisection level;
+3. a "consistent liar" that fabricates internally consistent sub-answers —
+   driven by the auditor's log(K) queries to a single-entry claim that any
+   commoner refutes with one multiplication.
+
+Run with:  python examples/intermix_audit.py
+"""
+
+import numpy as np
+
+from repro.gf import PrimeField
+from repro.intermix import IntermixProtocol, WorkerStrategy
+from repro.lcc import LagrangeScheme
+
+
+def run_case(field, scheme, commands, strategy: WorkerStrategy) -> None:
+    node_ids = [f"node-{i}" for i in range(scheme.num_nodes)]
+    protocol = IntermixProtocol(
+        field, node_ids, fault_fraction=0.25, rng=np.random.default_rng(3),
+        worker_strategies={n: strategy for n in node_ids},
+    )
+    outcome = protocol.run(scheme.coefficient_matrix, commands)
+    print(f"worker strategy: {strategy.value}")
+    print(f"  committee: worker={outcome.committee.worker}, "
+          f"{len(outcome.committee.auditors)} auditors, "
+          f"{len(outcome.committee.commoners)} commoners")
+    print(f"  accepted: {outcome.accepted}   fraud detected: {outcome.fraud_detected}")
+    accusations = [t for t in outcome.transcripts if not t.accepted]
+    if accusations:
+        transcript = accusations[0]
+        print(f"  first accusation: row {transcript.row_index}, "
+              f"failure={transcript.failure_kind}, "
+              f"bisection path length={len(transcript.path)}, "
+              f"queries={transcript.queries_issued}")
+    max_commoner = max(outcome.commoner_operations.values() or [0])
+    print(f"  worker ops: {outcome.worker_operations}, "
+          f"max auditor ops: {max(outcome.auditor_operations.values() or [0])}, "
+          f"max commoner ops: {max_commoner}\n")
+
+
+def main() -> None:
+    field = PrimeField()
+    # The matrix being verified is CSM's own N x K Lagrange coefficient matrix.
+    scheme = LagrangeScheme(field, num_machines=8, num_nodes=24)
+    commands = np.arange(1, 9, dtype=np.int64) * 100
+    print("Delegated computation: coded commands = C @ X with C the 24 x 8 "
+          "Lagrange coefficient matrix\n")
+    for strategy in (
+        WorkerStrategy.HONEST,
+        WorkerStrategy.CORRUPT_RESULT,
+        WorkerStrategy.CONSISTENT_LIAR,
+    ):
+        run_case(field, scheme, commands, strategy)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: run a Coded State Machine round end to end.
+
+This example hosts K = 4 bank-ledger state machines on N = 12 untrusted
+nodes, two of which are Byzantine.  Clients submit deposit commands, the
+nodes run the consensus phase over a simulated synchronous network, execute
+the transition directly on Lagrange-coded states, and decode every machine's
+correct output despite the faulty nodes.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CSMConfig, CSMProtocol
+from repro.gf import PrimeField
+from repro.machine import bank_account_machine
+from repro.net import RandomGarbageBehavior, SilentBehavior
+
+
+def main() -> None:
+    field = PrimeField()                       # GF(2^31 - 1)
+    machine = bank_account_machine(field, num_accounts=2)
+
+    # N = 12 nodes, K = 4 machines, degree-1 transition, tolerate b = 2 faults.
+    config = CSMConfig(
+        field=field, num_nodes=12, num_machines=4, degree=machine.degree, num_faults=2
+    )
+    print("CSM configuration:", config.summary())
+
+    behaviors = {
+        "node-3": RandomGarbageBehavior(),     # reports garbage results
+        "node-8": SilentBehavior(),            # never responds
+    }
+    protocol = CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(7))
+
+    # Three rounds of client deposits: row k is the command for machine k,
+    # the two columns are the per-account deposit amounts.
+    batches = [
+        np.array([[100, 50], [20, 80], [5, 5], [1, 0]]),
+        np.array([[10, 10], [30, 0], [0, 30], [2, 2]]),
+        np.array([[1, 1], [1, 1], [1, 1], [1, 1]]),
+    ]
+    for batch in batches:
+        protocol.submit_round_of_commands(batch)
+        record = protocol.run_round()
+        print(
+            f"round {record.round_index}: correct={record.correct} "
+            f"view={record.consensus_views} "
+            f"suspected_faulty={record.result.diagnostics['error_nodes']}"
+        )
+        for k in range(config.num_machines):
+            print(f"  ledger {k}: balances = {record.result.outputs[k].tolist()}")
+
+    print("all rounds correct:", protocol.all_rounds_correct)
+    print("measured throughput (commands per unit per-node op):",
+          f"{protocol.measured_throughput():.2e}")
+    print("storage per node: one coded state of size", machine.state_dim,
+          f"field elements, serving K={config.num_machines} machines "
+          f"(storage efficiency {config.storage_efficiency})")
+
+
+if __name__ == "__main__":
+    main()

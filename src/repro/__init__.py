@@ -1,0 +1,65 @@
+"""Coded State Machine (CSM) reproduction library.
+
+This package reproduces *Coded State Machine — Scaling State Machine Execution
+under Byzantine Faults* (Li et al., PODC 2019).  It provides:
+
+``repro.gf``
+    Finite-field substrate: prime fields, binary extension fields, univariate
+    and multivariate polynomial arithmetic, Lagrange interpolation.
+``repro.coding``
+    Reed–Solomon codes in the evaluation view, with Berlekamp–Welch and Gao
+    decoders for noisy polynomial interpolation.
+``repro.lcc``
+    Lagrange coded computing: the encoder/decoder pair CSM uses for coded
+    states and coded commands.
+``repro.machine``
+    Polynomial state machines (the class of state-transition functions CSM
+    supports) and a library of concrete machines, including the Boolean
+    function compiler of Appendix A.
+``repro.net``
+    Discrete-event simulated network with synchronous and partially
+    synchronous delay models, authenticated messages, and Byzantine
+    behaviour injection.
+``repro.consensus``
+    Consensus-phase protocols (synchronous authenticated broadcast and a
+    simplified PBFT) used identically by CSM and the replication baselines.
+``repro.replication``
+    Full- and partial-replication state machine replication baselines.
+``repro.core``
+    The Coded State Machine itself: coded state storage, coded execution,
+    and the round protocol for synchronous and partially synchronous
+    networks.
+``repro.intermix``
+    INTERMIX, the information-theoretically verifiable matrix-vector
+    multiplication protocol, and the delegated (centralised) coding path it
+    enables.
+``repro.analysis``
+    Closed-form performance formulas (Table 1, Table 2), information
+    theoretic limits, and operation-count based measurement.
+``repro.experiments``
+    Executable regeneration of every table and figure in the paper.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    CSMError,
+    ConfigurationError,
+    ConsensusError,
+    DecodingError,
+    FieldError,
+    LivenessError,
+    SecurityViolation,
+    VerificationError,
+)
+
+__all__ = [
+    "__version__",
+    "CSMError",
+    "ConfigurationError",
+    "ConsensusError",
+    "DecodingError",
+    "FieldError",
+    "LivenessError",
+    "SecurityViolation",
+    "VerificationError",
+]

@@ -1,0 +1,80 @@
+"""Table 2: fault bounds for each phase of the protocol.
+
+The table lists, for both network models, the largest number of malicious
+nodes ``b`` compatible with (i) reaching consensus on the input commands,
+(ii) successful Reed–Solomon decoding in the execution phase, and
+(iii) secure delivery of the outputs to the clients.  The decoding bound is
+the binding one, and is what Theorem 1 / Theorem 2 build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding.radius import composite_degree
+
+
+@dataclass(frozen=True)
+class PhaseBound:
+    """One cell of Table 2: the largest admissible ``b`` for one phase."""
+
+    setting: str
+    phase: str
+    constraint: str
+    max_faults: int
+
+
+def phase_bounds(num_nodes: int, num_machines: int, degree: int) -> dict[str, dict[str, int]]:
+    """The six Table 2 cells as nested dict ``{setting: {phase: max_b}}``."""
+    deg = composite_degree(num_machines, degree)
+    return {
+        "synchronous": {
+            # b + 1 <= N
+            "input-consensus": num_nodes - 1,
+            # 2b + 1 <= N - d(K-1)
+            "decoding": max((num_nodes - deg - 1) // 2, -1),
+            # 2b + 1 <= N
+            "output-delivery": (num_nodes - 1) // 2,
+        },
+        "partially-synchronous": {
+            # 3b + 1 <= N
+            "input-consensus": (num_nodes - 1) // 3,
+            # 3b + 1 <= N - d(K-1)
+            "decoding": max((num_nodes - deg - 1) // 3, -1),
+            # 2b + 1 <= N
+            "output-delivery": (num_nodes - 1) // 2,
+        },
+    }
+
+
+def table2_rows(num_nodes: int, num_machines: int, degree: int) -> list[PhaseBound]:
+    """Table 2 in row form (with the defining inequality spelled out)."""
+    deg = composite_degree(num_machines, degree)
+    bounds = phase_bounds(num_nodes, num_machines, degree)
+    constraints = {
+        ("synchronous", "input-consensus"): "b + 1 <= N",
+        ("synchronous", "decoding"): f"2b + 1 <= N - d(K-1) = {num_nodes - deg}",
+        ("synchronous", "output-delivery"): "2b + 1 <= N",
+        ("partially-synchronous", "input-consensus"): "3b + 1 <= N",
+        ("partially-synchronous", "decoding"): f"3b + 1 <= N - d(K-1) = {num_nodes - deg}",
+        ("partially-synchronous", "output-delivery"): "2b + 1 <= N",
+    }
+    rows = []
+    for setting, phases in bounds.items():
+        for phase, max_faults in phases.items():
+            rows.append(
+                PhaseBound(
+                    setting=setting,
+                    phase=phase,
+                    constraint=constraints[(setting, phase)],
+                    max_faults=max_faults,
+                )
+            )
+    return rows
+
+
+def binding_bound(num_nodes: int, num_machines: int, degree: int, partially_synchronous: bool) -> int:
+    """The overall security of the system: the minimum over the three phases."""
+    setting = "partially-synchronous" if partially_synchronous else "synchronous"
+    phases = phase_bounds(num_nodes, num_machines, degree)[setting]
+    return min(phases.values())

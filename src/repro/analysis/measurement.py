@@ -1,0 +1,238 @@
+"""Measurement harnesses: run the execution engines and record the metrics.
+
+These helpers are the bridge between the library and the experiment /
+benchmark layer: each one builds a scheme (full replication, partial
+replication, or CSM), injects a chosen number of Byzantine nodes, runs a few
+rounds of a workload and reports measured security (did every client still
+obtain the correct output?), storage efficiency, and throughput (commands per
+unit per-node field operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecodingError, SecurityViolation
+from repro.core.config import CSMConfig
+from repro.core.execution import CodedExecutionEngine
+from repro.machine.interface import StateMachine
+from repro.net.byzantine import ByzantineBehavior, RandomGarbageBehavior
+from repro.replication.full import FullReplicationSMR
+from repro.replication.partial import PartialReplicationSMR
+
+
+@dataclass
+class MeasuredPerformance:
+    """Measured metrics of one scheme at one parameter point."""
+
+    scheme: str
+    num_nodes: int
+    num_machines: int
+    num_faults: int
+    rounds: int
+    all_correct: bool
+    storage_efficiency: float
+    mean_ops_per_node: float
+    throughput: float
+
+    def as_row(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "N": self.num_nodes,
+            "K": self.num_machines,
+            "b": self.num_faults,
+            "correct": self.all_correct,
+            "storage_efficiency": self.storage_efficiency,
+            "ops_per_node": self.mean_ops_per_node,
+            "throughput": self.throughput,
+        }
+
+
+def _fault_behaviors(
+    node_ids: list[str], num_faults: int, rng: np.random.Generator,
+    behavior_factory=RandomGarbageBehavior,
+) -> dict[str, ByzantineBehavior]:
+    """Pick ``num_faults`` nodes (at random) and give them a faulty behaviour."""
+    if num_faults <= 0:
+        return {}
+    chosen = rng.choice(len(node_ids), size=min(num_faults, len(node_ids)), replace=False)
+    return {node_ids[int(i)]: behavior_factory() for i in chosen}
+
+
+def _workload(machine: StateMachine, num_machines: int, rounds: int, rng: np.random.Generator):
+    """Random command batches, one per round."""
+    return [
+        rng.integers(1, 1000, size=(num_machines, machine.command_dim))
+        for _ in range(rounds)
+    ]
+
+
+def measure_full_replication(
+    machine: StateMachine,
+    num_nodes: int,
+    num_machines: int,
+    num_faults: int,
+    rounds: int = 3,
+    seed: int = 0,
+) -> MeasuredPerformance:
+    """Run full replication and measure correctness / ops / throughput."""
+    rng = np.random.default_rng(seed)
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    behaviors = _fault_behaviors(node_ids, num_faults, rng)
+    engine = FullReplicationSMR(machine, num_machines, node_ids, behaviors, rng)
+    correct = True
+    ops = []
+    for commands in _workload(machine, num_machines, rounds, rng):
+        try:
+            result = engine.execute_round(commands)
+        except SecurityViolation:
+            correct = False
+            continue
+        correct = correct and result.correct
+        ops.append(result.mean_ops_per_node)
+    mean_ops = float(np.mean(ops)) if ops else 0.0
+    return MeasuredPerformance(
+        scheme="full-replication",
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        num_faults=num_faults,
+        rounds=rounds,
+        all_correct=correct,
+        storage_efficiency=engine.storage_efficiency,
+        mean_ops_per_node=mean_ops,
+        throughput=num_machines / mean_ops if mean_ops else float("inf"),
+    )
+
+
+def measure_partial_replication(
+    machine: StateMachine,
+    num_nodes: int,
+    num_machines: int,
+    num_faults: int,
+    rounds: int = 3,
+    seed: int = 0,
+    concentrate_faults: bool = True,
+) -> MeasuredPerformance:
+    """Run partial replication; faults are concentrated on group 0 by default.
+
+    Concentrating the corruptions on a single group is exactly the adversary
+    the paper describes ("once the adversary identifies this set and then
+    corrupts it"), and is what makes partial replication's security collapse
+    to ``q / 2``.
+    """
+    rng = np.random.default_rng(seed)
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    if concentrate_faults:
+        behaviors = {
+            node_ids[i]: RandomGarbageBehavior()
+            for i in range(min(num_faults, num_nodes))
+        }
+    else:
+        behaviors = _fault_behaviors(node_ids, num_faults, rng)
+    engine = PartialReplicationSMR(machine, num_machines, node_ids, behaviors, rng)
+    correct = True
+    ops = []
+    for commands in _workload(machine, num_machines, rounds, rng):
+        try:
+            result = engine.execute_round(commands)
+        except SecurityViolation:
+            correct = False
+            continue
+        correct = correct and result.correct
+        ops.append(result.mean_ops_per_node)
+    mean_ops = float(np.mean(ops)) if ops else 0.0
+    return MeasuredPerformance(
+        scheme="partial-replication",
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        num_faults=num_faults,
+        rounds=rounds,
+        all_correct=correct,
+        storage_efficiency=engine.storage_efficiency,
+        mean_ops_per_node=mean_ops,
+        throughput=num_machines / mean_ops if mean_ops else float("inf"),
+    )
+
+
+def measure_csm(
+    machine: StateMachine,
+    num_nodes: int,
+    num_machines: int,
+    num_faults: int,
+    rounds: int = 3,
+    seed: int = 0,
+    partially_synchronous: bool = False,
+    behavior_factory=RandomGarbageBehavior,
+) -> MeasuredPerformance:
+    """Run CSM's coded execution and measure correctness / ops / throughput.
+
+    When the requested ``(N, K, b)`` point violates the decoding bound the
+    configuration is still built with ``num_faults=0`` for feasibility and
+    the faults are injected anyway — measuring what actually happens past the
+    bound (decoding failures) is part of the Table 2 experiment.
+    """
+    rng = np.random.default_rng(seed)
+    config_faults = num_faults
+    try:
+        config = CSMConfig(
+            field=machine.field,
+            num_nodes=num_nodes,
+            num_machines=num_machines,
+            degree=machine.degree,
+            num_faults=config_faults,
+            partially_synchronous=partially_synchronous,
+        )
+    except Exception:
+        config = CSMConfig(
+            field=machine.field,
+            num_nodes=num_nodes,
+            num_machines=num_machines,
+            degree=machine.degree,
+            num_faults=0,
+            partially_synchronous=partially_synchronous,
+        )
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    behaviors = _fault_behaviors(node_ids, num_faults, rng, behavior_factory)
+    engine = CodedExecutionEngine(config, machine, node_ids, behaviors, rng)
+    correct = True
+    ops = []
+    for commands in _workload(machine, num_machines, rounds, rng):
+        try:
+            result = engine.execute_round(commands)
+        except DecodingError:
+            correct = False
+            continue
+        correct = correct and result.correct
+        ops.append(result.mean_ops_per_node)
+    mean_ops = float(np.mean(ops)) if ops else 0.0
+    return MeasuredPerformance(
+        scheme="coded-state-machine",
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        num_faults=num_faults,
+        rounds=rounds,
+        all_correct=correct,
+        storage_efficiency=engine.storage_efficiency,
+        mean_ops_per_node=mean_ops,
+        throughput=num_machines / mean_ops if mean_ops else float("inf"),
+    )
+
+
+def find_breaking_faults(measure, machine, num_nodes: int, num_machines: int, max_faults: int, **kwargs) -> int:
+    """Empirical security: the largest ``b`` for which the scheme stays correct.
+
+    ``measure`` is one of the ``measure_*`` functions above.  The sweep is
+    monotone in spirit but adversarial placements can be lucky, so the
+    function returns the largest ``b`` such that *all* fault counts up to and
+    including ``b`` were correct.
+    """
+    largest_correct = -1
+    for b in range(0, max_faults + 1):
+        outcome = measure(machine, num_nodes, num_machines, b, **kwargs)
+        if outcome.all_correct:
+            largest_correct = b
+        else:
+            break
+    return largest_correct

@@ -1,0 +1,136 @@
+"""Closed-form performance formulas — the rows of Table 1.
+
+================  ===========  ==================  =====================================
+Scheme            Security     Storage efficiency  Throughput
+================  ===========  ==================  =====================================
+Full replication  N/2          1                   1 / c(f)
+Partial repl.     N/(2K)       K                   K / c(f)
+Info-theoretic    N/2          N                   N / c(f)
+CSM               mu N         (1-2mu)N/d + 1-1/d  ((1-2mu)N/d + 1-1/d)/(c(f)+c(coding))
+================  ===========  ==================  =====================================
+
+Throughput is measured in commands per unit of per-node field operations; the
+formulas take ``c(f)`` (cost of one transition evaluation) and ``c(coding)``
+(per-node coding cost) as parameters so the experiments can plug in either
+the model values from :mod:`repro.analysis.complexity` or measured counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SchemeMetrics:
+    """One Table 1 row: the three scaling metrics of a scheme."""
+
+    scheme: str
+    security: float
+    storage_efficiency: float
+    throughput: float
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "scheme": self.scheme,
+            "security": self.security,
+            "storage_efficiency": self.storage_efficiency,
+            "throughput": self.throughput,
+        }
+
+
+def full_replication_metrics(
+    num_nodes: int, transition_cost: float, partially_synchronous: bool = False
+) -> SchemeMetrics:
+    """Full replication: beta = N/2 (N/3 partial-sync), gamma = 1, lambda = 1/c(f)."""
+    divisor = 3 if partially_synchronous else 2
+    return SchemeMetrics(
+        scheme="full-replication",
+        security=(num_nodes - 1) // divisor,
+        storage_efficiency=1.0,
+        throughput=1.0 / transition_cost,
+    )
+
+
+def partial_replication_metrics(
+    num_nodes: int,
+    num_machines: int,
+    transition_cost: float,
+    partially_synchronous: bool = False,
+) -> SchemeMetrics:
+    """Partial replication: beta = q/2 with q = N/K, gamma = K, lambda = K/c(f)."""
+    group_size = num_nodes // num_machines
+    divisor = 3 if partially_synchronous else 2
+    return SchemeMetrics(
+        scheme="partial-replication",
+        security=(group_size - 1) // divisor,
+        storage_efficiency=float(num_machines),
+        throughput=num_machines / transition_cost,
+    )
+
+
+def information_theoretic_limit(
+    num_nodes: int, transition_cost: float
+) -> SchemeMetrics:
+    """Upper bounds: beta <= N/2, gamma <= N, lambda <= N/c(f)."""
+    return SchemeMetrics(
+        scheme="information-theoretic-limit",
+        security=num_nodes / 2,
+        storage_efficiency=float(num_nodes),
+        throughput=num_nodes / transition_cost,
+    )
+
+
+def csm_supported_machines(
+    num_nodes: int, fault_fraction: float, degree: int, partially_synchronous: bool = False
+) -> int:
+    """``floor((1 - 2mu) N / d + 1 - 1/d)`` (``1 - 3nu`` for partial synchrony)."""
+    penalty = 3.0 if partially_synchronous else 2.0
+    value = (1.0 - penalty * fault_fraction) * num_nodes / degree + 1.0 - 1.0 / degree
+    return max(int(value), 0)
+
+
+def csm_metrics(
+    num_nodes: int,
+    fault_fraction: float,
+    degree: int,
+    transition_cost: float,
+    coding_cost: float,
+    partially_synchronous: bool = False,
+) -> SchemeMetrics:
+    """CSM: beta = mu N, gamma = K_max, lambda = K_max / (c(f) + c(coding))."""
+    supported = csm_supported_machines(
+        num_nodes, fault_fraction, degree, partially_synchronous
+    )
+    return SchemeMetrics(
+        scheme="coded-state-machine",
+        security=fault_fraction * num_nodes,
+        storage_efficiency=float(supported),
+        throughput=supported / (transition_cost + coding_cost),
+    )
+
+
+def table1_rows(
+    num_nodes: int,
+    num_machines: int,
+    fault_fraction: float,
+    degree: int,
+    transition_cost: float,
+    coding_cost: float,
+    partially_synchronous: bool = False,
+) -> list[SchemeMetrics]:
+    """All four rows of Table 1 for one parameter point."""
+    return [
+        full_replication_metrics(num_nodes, transition_cost, partially_synchronous),
+        partial_replication_metrics(
+            num_nodes, num_machines, transition_cost, partially_synchronous
+        ),
+        information_theoretic_limit(num_nodes, transition_cost),
+        csm_metrics(
+            num_nodes,
+            fault_fraction,
+            degree,
+            transition_cost,
+            coding_cost,
+            partially_synchronous,
+        ),
+    ]

@@ -1,0 +1,73 @@
+"""Gao decoding of Reed–Solomon codes (extended-Euclidean algorithm).
+
+Gao's decoder interpolates the received word into a polynomial ``g1``, then
+runs the extended Euclidean algorithm on ``(g0, g1)`` — where
+``g0 = prod (z - x_i)`` is the node polynomial — stopping as soon as the
+remainder degree drops below ``(n + k) / 2``.  The message polynomial is the
+quotient of that remainder by the Bezout coefficient; a non-zero remainder of
+the final division signals more errors than the radius allows.
+
+The decoder is used as an ablation against Berlekamp–Welch
+(`benchmarks/bench_ablation_decoders.py`) and as an independent cross-check in
+property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import DecodingError
+from repro.gf.field import Field
+from repro.gf.lagrange import lagrange_interpolate
+from repro.gf.polynomial import Poly
+from repro.coding.reed_solomon import DecodingResult, ReedSolomonCode
+
+
+class GaoDecoder:
+    """Gao decoder bound to a specific Reed–Solomon code."""
+
+    def __init__(self, code: ReedSolomonCode) -> None:
+        self.code = code
+        self.field: Field = code.field
+        # Node polynomial g0(z) = prod (z - x_i); depends only on the code points.
+        self._node_polynomial = Poly.from_roots(self.field, code.evaluation_points)
+
+    def decode(self, received: Sequence[int]) -> DecodingResult:
+        """Decode a received word or raise :class:`DecodingError`.
+
+        Succeeds whenever the received word is within
+        ``floor((n - k) / 2)`` errors of a codeword, like Berlekamp–Welch.
+        """
+        word = self.code.check_received_length(received)
+        field = self.field
+        n = self.code.length
+        k = self.code.dimension
+        g0 = self._node_polynomial
+        g1 = lagrange_interpolate(
+            field, self.code.evaluation_points, [int(v) for v in word]
+        )
+        # Degree bound for the Euclidean stopping condition: (n + k) / 2.
+        stop_degree = (n + k + 1) // 2 if (n + k) % 2 else (n + k) // 2
+        remainder, _, bezout_v = Poly.partial_extended_gcd(g0, g1, stop_degree)
+        if bezout_v.is_zero:
+            raise DecodingError("Gao decoding failed: zero Bezout coefficient")
+        quotient, division_remainder = remainder.divmod(bezout_v)
+        if not division_remainder.is_zero:
+            raise DecodingError(
+                "Gao decoding failed: received word is outside the correction radius"
+            )
+        if quotient.degree >= k:
+            raise DecodingError(
+                f"Gao decoding produced degree {quotient.degree} >= dimension {k}"
+            )
+        error_positions = self.code.errors_against(quotient, word)
+        if len(error_positions) > self.code.correction_radius:
+            raise DecodingError(
+                f"Gao decoding corrected {len(error_positions)} positions, beyond the "
+                f"radius {self.code.correction_radius}"
+            )
+        return DecodingResult(
+            polynomial=quotient,
+            codeword=self.code.encode_polynomial(quotient),
+            error_positions=error_positions,
+        )

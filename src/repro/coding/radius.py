@@ -1,0 +1,96 @@
+"""Decoding-radius arithmetic shared by CSM configuration and Table 2.
+
+The bounds below are exactly the rows of Table 2 in the paper:
+
+==============================  ==========================================
+Phase                           Bound on the number of malicious nodes b
+==============================  ==========================================
+Input consensus (sync)          ``b + 1 <= N``
+Decoding (sync)                 ``2b + 1 <= N - d(K - 1)``
+Output delivery (sync)          ``2b + 1 <= N``
+Input consensus (partial sync)  ``3b + 1 <= N``
+Decoding (partial sync)         ``3b + 1 <= N - d(K - 1)``
+Output delivery (partial sync)  ``2b + 1 <= N``
+==============================  ==========================================
+"""
+
+from __future__ import annotations
+
+
+def max_errors_correctable(length: int, dimension: int) -> int:
+    """Maximum errors a ``[length, dimension]`` RS code corrects: ``floor((n-k)/2)``."""
+    if dimension > length:
+        raise ValueError(f"dimension {dimension} exceeds length {length}")
+    return (length - dimension) // 2
+
+
+def max_dimension_for_errors(length: int, errors: int) -> int:
+    """Largest dimension decodable with the given error count: ``n - 2e``."""
+    if errors < 0:
+        raise ValueError(f"error count must be non-negative, got {errors}")
+    dimension = length - 2 * errors
+    return max(dimension, 0)
+
+
+def required_length(dimension: int, errors: int) -> int:
+    """Smallest code length that corrects ``errors`` errors at this dimension."""
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return dimension + 2 * max(errors, 0)
+
+
+def composite_degree(num_machines: int, transition_degree: int) -> int:
+    """Degree of the composite polynomial ``h = f(u(z), v(z))``: ``d * (K - 1)``."""
+    if num_machines < 1:
+        raise ValueError(f"need at least one state machine, got {num_machines}")
+    if transition_degree < 1:
+        raise ValueError(
+            f"transition degree must be at least 1, got {transition_degree}"
+        )
+    return transition_degree * (num_machines - 1)
+
+
+def max_machines_synchronous(num_nodes: int, num_faults: int, degree: int) -> int:
+    """Largest ``K`` with successful decoding in a synchronous network.
+
+    From ``2b + 1 <= N - d(K - 1)``:  ``K <= (N - 2b - 1) / d + 1``.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    budget = num_nodes - 2 * num_faults - 1
+    if budget < 0:
+        return 0
+    return budget // degree + 1
+
+
+def max_machines_partially_synchronous(
+    num_nodes: int, num_faults: int, degree: int
+) -> int:
+    """Largest ``K`` with successful decoding in a partially synchronous network.
+
+    From ``3b + 1 <= N - d(K - 1)``:  ``K <= (N - 3b - 1) / d + 1``.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    budget = num_nodes - 3 * num_faults - 1
+    if budget < 0:
+        return 0
+    return budget // degree + 1
+
+
+def max_faults_synchronous(num_nodes: int, num_machines: int, degree: int) -> int:
+    """Largest ``b`` with successful decoding (sync): ``b <= (N - d(K-1) - 1) / 2``."""
+    budget = num_nodes - composite_degree(num_machines, degree) - 1
+    if budget < 0:
+        return -1
+    return budget // 2
+
+
+def max_faults_partially_synchronous(
+    num_nodes: int, num_machines: int, degree: int
+) -> int:
+    """Largest ``b`` with successful decoding (partial sync): ``b <= (N - d(K-1) - 1) / 3``."""
+    budget = num_nodes - composite_degree(num_machines, degree) - 1
+    if budget < 0:
+        return -1
+    return budget // 3

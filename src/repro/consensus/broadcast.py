@@ -1,0 +1,294 @@
+"""Authenticated leader-broadcast consensus for synchronous networks.
+
+This is the consensus protocol the paper assumes for the synchronous setting
+("We use the Byzantine generals protocol in the consensus phase, where a
+unique set of commands are proposed by a leader node and disseminated across
+the network.  With the protection of digital signatures, the consistency
+requirement can be satisfied for an arbitrary number b < N of malicious
+nodes.").
+
+The implementation is a two-step signed broadcast with leader rotation:
+
+1. **Propose** — the round's leader signs and broadcasts a proposal carrying
+   one command per state machine (selected FIFO from the client pool).
+2. **Echo** — every node re-broadcasts the leader-signed proposal(s) it
+   received, so after one extra synchronous step all honest nodes have seen
+   every proposal any honest node has seen.
+3. **Decide** — an honest node decides the unique valid leader-signed
+   proposal; if it observed zero or conflicting proposals (a silent or
+   equivocating leader) it moves to the next view, whose leader is the next
+   node in round-robin order.  Because leaders rotate and ``b < N``, at most
+   ``b`` view changes are needed before an honest leader decides the round.
+
+Validity is enforced by checking each proposed command against the pool of
+client submissions; consistency follows from the unforgeability of the
+leader's signature plus the echo step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConsensusError, LivenessError
+from repro.consensus.command_pool import CommandPool, SubmittedCommand
+from repro.consensus.interface import ConsensusDecision, ConsensusProtocol
+from repro.net.byzantine import (
+    ByzantineBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    SilentBehavior,
+    DelayingBehavior,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.network import SimulatedNetwork
+
+
+class AuthenticatedBroadcastConsensus(ConsensusProtocol):
+    """Signed leader-broadcast consensus (synchronous model).
+
+    Parameters
+    ----------
+    network:
+        The simulated network all nodes are registered on.
+    node_ids:
+        Ordered list of the ``N`` compute node identifiers.
+    pool:
+        The shared pool of client-submitted commands (clients broadcast to
+        every node, so all honest nodes hold the same pool contents).
+    behaviors:
+        Mapping from node id to its :class:`ByzantineBehavior`; missing nodes
+        are honest.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        node_ids: list[str],
+        pool: CommandPool,
+        behaviors: dict[str, ByzantineBehavior] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not node_ids:
+            raise ConsensusError("consensus needs at least one node")
+        self.network = network
+        self.node_ids = list(node_ids)
+        self.pool = pool
+        self.behaviors = dict(behaviors or {})
+        self.rng = rng or np.random.default_rng(0)
+        for node_id in self.node_ids:
+            self.network.register(node_id)
+
+    # -- protocol properties ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Consistency holds for any ``b < N`` with signatures (Table 2 row 1)."""
+        return self.num_nodes - 1
+
+    def behavior_of(self, node_id: str) -> ByzantineBehavior:
+        return self.behaviors.get(node_id, HonestBehavior())
+
+    def honest_nodes(self) -> list[str]:
+        return [n for n in self.node_ids if not self.behavior_of(n).is_faulty]
+
+    def leader_for(self, round_index: int, view: int) -> str:
+        return self.node_ids[(round_index + view) % self.num_nodes]
+
+    # -- one round -------------------------------------------------------------------
+    def decide_round(self, round_index: int) -> dict[str, ConsensusDecision]:
+        selected = self.pool.peek_round()
+        if any(entry is None for entry in selected):
+            raise LivenessError(
+                "every state machine needs at least one pending client command"
+            )
+        max_views = self.num_nodes
+        for view in range(max_views):
+            leader = self.leader_for(round_index, view)
+            decisions = self._attempt_view(round_index, view, leader, selected)
+            if decisions:
+                # Remove the decided commands from the pool exactly once.
+                sample = next(iter(decisions.values()))
+                for k, entry in enumerate(sample.selected):
+                    self.pool.mark_executed(k, entry)
+                return decisions
+        raise ConsensusError(
+            f"no view with an honest leader within {max_views} attempts "
+            "(more faults than nodes?)"
+        )
+
+    # -- internals ----------------------------------------------------------------------
+    def _attempt_view(
+        self,
+        round_index: int,
+        view: int,
+        leader: str,
+        selected: list[SubmittedCommand],
+    ) -> dict[str, ConsensusDecision]:
+        leader_behavior = self.behavior_of(leader)
+        self._leader_propose(round_index, view, leader, leader_behavior, selected)
+        # Step 1 timeout: collect the leader's proposal at every node.
+        received = self.network.collect_all(
+            self.node_ids, kind=MessageKind.CONSENSUS_PROPOSAL, round_index=round_index
+        )
+        # Step 2: every honest node echoes what it received.
+        for node_id in self.node_ids:
+            if self.behavior_of(node_id).is_faulty:
+                continue  # faulty echoers at worst withhold; they cannot forge
+            for message in received.get(node_id, []):
+                if message.metadata.get("view") != view:
+                    continue
+                echo = Message(
+                    sender=node_id,
+                    recipient="*",
+                    kind=MessageKind.CONSENSUS_VOTE,
+                    round_index=round_index,
+                    payload=message.payload,
+                    metadata={"view": view, "leader_signature": message.signature,
+                              "leader": message.sender},
+                )
+                self.network.broadcast(echo, recipients=self.node_ids)
+        echoes = self.network.collect_all(
+            self.node_ids, kind=MessageKind.CONSENSUS_VOTE, round_index=round_index
+        )
+        # Step 3: decision at each honest node.
+        decisions: dict[str, ConsensusDecision] = {}
+        for node_id in self.honest_nodes():
+            proposals = self._distinct_proposals(
+                view, leader, received.get(node_id, []), echoes.get(node_id, [])
+            )
+            valid = [p for p in proposals if self._is_valid_proposal(p)]
+            if len(valid) != 1:
+                # zero proposals (silent leader) or several (equivocation):
+                # the node votes for a view change.
+                return {}
+            decisions[node_id] = self._decision_from_payload(
+                round_index, view, leader, valid[0]
+            )
+        if not decisions:
+            return {}
+        # Consistency sanity check (should always hold for honest nodes).
+        tuples = {d.command_tuple() for d in decisions.values()}
+        if len(tuples) != 1:
+            raise ConsensusError("honest nodes decided different command vectors")
+        return decisions
+
+    def _leader_propose(
+        self,
+        round_index: int,
+        view: int,
+        leader: str,
+        behavior: ByzantineBehavior,
+        selected: list[SubmittedCommand],
+    ) -> None:
+        honest_payload = self._payload_from_selection(selected)
+        if not behavior.is_faulty:
+            proposal = Message(
+                sender=leader,
+                recipient="*",
+                kind=MessageKind.CONSENSUS_PROPOSAL,
+                round_index=round_index,
+                payload=honest_payload,
+                metadata={"view": view},
+            )
+            self.network.broadcast(proposal, recipients=self.node_ids)
+            return
+        if isinstance(behavior, (SilentBehavior, DelayingBehavior)):
+            return  # no proposal this view
+        if isinstance(behavior, EquivocatingBehavior):
+            # Different (still validly signed) proposals to different halves.
+            midpoint = self.num_nodes // 2
+            alt_payload = dict(honest_payload)
+            alt_payload["commands"] = [
+                [int(v) + 1 for v in row] for row in honest_payload["commands"]
+            ]
+            for index, node_id in enumerate(self.node_ids):
+                payload = honest_payload if index < midpoint else alt_payload
+                self.network.send(
+                    Message(
+                        sender=leader,
+                        recipient=node_id,
+                        kind=MessageKind.CONSENSUS_PROPOSAL,
+                        round_index=round_index,
+                        payload=payload,
+                        metadata={"view": view},
+                    )
+                )
+            return
+        # Default Byzantine leader: propose a command nobody submitted.
+        bogus = dict(honest_payload)
+        bogus["commands"] = [[int(v) + 7 for v in row] for row in honest_payload["commands"]]
+        bogus["clients"] = ["client:forged"] * len(honest_payload["clients"])
+        proposal = Message(
+            sender=leader,
+            recipient="*",
+            kind=MessageKind.CONSENSUS_PROPOSAL,
+            round_index=round_index,
+            payload=bogus,
+            metadata={"view": view},
+        )
+        self.network.broadcast(proposal, recipients=self.node_ids)
+
+    @staticmethod
+    def _payload_from_selection(selected: list[SubmittedCommand]) -> dict:
+        return {
+            "commands": [list(entry.command) for entry in selected],
+            "clients": [entry.client_id for entry in selected],
+        }
+
+    def _distinct_proposals(
+        self, view: int, leader: str, direct: list[Message], echoes: list[Message]
+    ) -> list[dict]:
+        seen: dict[tuple, dict] = {}
+        for message in direct:
+            if message.sender != leader or message.metadata.get("view") != view:
+                continue
+            key = self._payload_key(message.payload)
+            seen[key] = message.payload
+        for message in echoes:
+            if message.metadata.get("view") != view:
+                continue
+            if message.metadata.get("leader") != leader:
+                continue
+            key = self._payload_key(message.payload)
+            seen.setdefault(key, message.payload)
+        return list(seen.values())
+
+    @staticmethod
+    def _payload_key(payload: dict) -> tuple:
+        return tuple(tuple(int(v) for v in row) for row in payload["commands"])
+
+    def _is_valid_proposal(self, payload: dict) -> bool:
+        commands = payload.get("commands")
+        clients = payload.get("clients")
+        if not commands or not clients or len(commands) != self.pool.num_machines:
+            return False
+        for k, (command, client) in enumerate(zip(commands, clients)):
+            if not self.pool.was_submitted(k, command, client):
+                return False
+        return True
+
+    def _decision_from_payload(
+        self, round_index: int, view: int, leader: str, payload: dict
+    ) -> ConsensusDecision:
+        commands = np.array(payload["commands"], dtype=np.int64)
+        clients = list(payload["clients"])
+        selected = [
+            SubmittedCommand(
+                machine_index=k,
+                client_id=clients[k],
+                command=tuple(int(v) for v in commands[k]),
+                sequence=-1,
+            )
+            for k in range(commands.shape[0])
+        ]
+        return ConsensusDecision(
+            round_index=round_index,
+            commands=commands,
+            clients=clients,
+            selected=selected,
+            leader=leader,
+            view=view,
+        )

@@ -1,0 +1,127 @@
+"""Client command submission pools.
+
+Clients broadcast their commands to all compute nodes (Figure 2(a) of the
+paper); each node therefore holds, per state machine ``k``, a pool of pending
+commands.  The consensus phase selects one command per machine per round and
+records which client submitted it (``m_k^t``), so the execution phase can
+return the output ``Y_k(t)`` to the right client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SubmittedCommand:
+    """A client command waiting to be executed on a specific state machine."""
+
+    machine_index: int
+    client_id: str
+    command: tuple[int, ...]
+    sequence: int
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.command, dtype=np.int64)
+
+
+@dataclass
+class CommandPool:
+    """Pending commands for ``num_machines`` state machines.
+
+    The pool preserves submission order per machine; the default selection
+    rule (used by honest leaders) is FIFO, which together with the validity
+    check gives the liveness property: every submitted command is eventually
+    selected.
+    """
+
+    num_machines: int
+    _queues: list[list[SubmittedCommand]] = field(default_factory=list)
+    _sequence: int = 0
+    _history: set[tuple[int, tuple[int, ...], str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ConfigurationError(
+                f"command pool needs at least one machine, got {self.num_machines}"
+            )
+        if not self._queues:
+            self._queues = [[] for _ in range(self.num_machines)]
+
+    # -- submission -----------------------------------------------------------------
+    def submit(self, machine_index: int, client_id: str, command: Iterable[int]) -> SubmittedCommand:
+        """Record a client command for machine ``machine_index``."""
+        self._check_machine(machine_index)
+        entry = SubmittedCommand(
+            machine_index=int(machine_index),
+            client_id=str(client_id),
+            command=tuple(int(v) for v in command),
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        self._queues[machine_index].append(entry)
+        self._history.add((entry.machine_index, entry.command, entry.client_id))
+        return entry
+
+    def submit_batch(
+        self, commands: np.ndarray, client_ids: list[str] | None = None
+    ) -> list[SubmittedCommand]:
+        """Submit one command per machine (row ``k`` goes to machine ``k``)."""
+        arr = np.asarray(commands)
+        if arr.ndim == 1:
+            arr = arr.reshape(self.num_machines, -1)
+        if arr.shape[0] != self.num_machines:
+            raise ConfigurationError(
+                f"expected {self.num_machines} rows, got {arr.shape[0]}"
+            )
+        out = []
+        for k in range(self.num_machines):
+            client = client_ids[k] if client_ids else f"client:{k}"
+            out.append(self.submit(k, client, arr[k]))
+        return out
+
+    # -- selection -------------------------------------------------------------------
+    def peek_next(self, machine_index: int) -> SubmittedCommand | None:
+        """The command an honest leader would propose next for this machine."""
+        self._check_machine(machine_index)
+        queue = self._queues[machine_index]
+        return queue[0] if queue else None
+
+    def peek_round(self) -> list[SubmittedCommand | None]:
+        """Next command for every machine (``None`` where the pool is empty)."""
+        return [self.peek_next(k) for k in range(self.num_machines)]
+
+    def mark_executed(self, machine_index: int, command: SubmittedCommand) -> None:
+        """Remove a decided command from the pool (idempotent)."""
+        self._check_machine(machine_index)
+        queue = self._queues[machine_index]
+        for i, entry in enumerate(queue):
+            if entry.command == command.command and entry.client_id == command.client_id:
+                del queue[i]
+                return
+
+    def was_submitted(self, machine_index: int, command: Iterable[int], client_id: str) -> bool:
+        """Validity check: was this command really submitted by this client?"""
+        return (
+            int(machine_index),
+            tuple(int(v) for v in command),
+            str(client_id),
+        ) in self._history
+
+    def pending(self, machine_index: int) -> int:
+        self._check_machine(machine_index)
+        return len(self._queues[machine_index])
+
+    def total_pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def _check_machine(self, machine_index: int) -> None:
+        if not 0 <= machine_index < self.num_machines:
+            raise ConfigurationError(
+                f"machine index {machine_index} out of range for {self.num_machines} machines"
+            )

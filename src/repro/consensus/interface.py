@@ -1,0 +1,69 @@
+"""Common consensus-protocol interface and the decision record.
+
+The execution phases (replicated or coded) only need two things from
+consensus: the agreed command vector ``(X_1(t), ..., X_K(t))`` for the round
+and the identity of the client that submitted each command.  Both protocols
+return a :class:`ConsensusDecision` carrying exactly that, plus diagnostics
+used by tests to verify the validity / consistency properties.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.consensus.command_pool import SubmittedCommand
+
+
+@dataclass
+class ConsensusDecision:
+    """The outcome of one consensus round at one (honest) node.
+
+    Attributes
+    ----------
+    round_index:
+        The state-machine round the decision is for.
+    commands:
+        Array of shape ``(K, command_dim)``: the agreed input commands.
+    clients:
+        Length-``K`` list of client identifiers (``m_k^t``).
+    selected:
+        The underlying :class:`SubmittedCommand` objects.
+    leader:
+        The node that acted as leader/primary for the round.
+    view:
+        The view number in which the decision was reached (0 unless the
+        initial leader misbehaved and a view change occurred).
+    """
+
+    round_index: int
+    commands: np.ndarray
+    clients: list[str]
+    selected: list[SubmittedCommand] = field(default_factory=list)
+    leader: str = ""
+    view: int = 0
+
+    def command_tuple(self) -> tuple[tuple[int, ...], ...]:
+        """Hashable representation used to compare decisions across nodes."""
+        return tuple(tuple(int(v) for v in row) for row in np.asarray(self.commands))
+
+
+class ConsensusProtocol(ABC):
+    """A protocol that the honest nodes run to agree on the round's commands."""
+
+    @abstractmethod
+    def decide_round(self, round_index: int) -> dict[str, ConsensusDecision]:
+        """Run one round of consensus.
+
+        Returns a mapping from *honest* node id to that node's decision.
+        Byzantine nodes do not produce meaningful decisions.  Tests check
+        the paper's consistency property by asserting all returned decisions
+        have equal :meth:`ConsensusDecision.command_tuple`.
+        """
+
+    @property
+    @abstractmethod
+    def fault_tolerance(self) -> int:
+        """Maximum number of Byzantine nodes the protocol tolerates."""

@@ -1,0 +1,304 @@
+"""Simplified PBFT consensus for partially synchronous networks.
+
+The paper employs PBFT in the partially synchronous setting, which requires
+``N >= 3b + 1`` nodes.  The implementation here follows the classic
+three-phase structure:
+
+1. **Pre-prepare** — the view's primary signs and broadcasts the proposed
+   command vector.
+2. **Prepare** — every honest node that received a valid pre-prepare
+   broadcasts a prepare vote for its digest.
+3. **Commit** — a node that collects ``2f + 1`` matching prepares broadcasts
+   a commit vote; a node that collects ``2f + 1`` matching commits decides.
+
+If a view fails to decide within its timeout (silent or equivocating primary,
+or the network has not reached GST yet), all honest nodes move to the next
+view with the next primary in round-robin order.  After GST and with an
+honest primary, a view always decides — which is the paper's liveness
+argument.  Safety (no two honest nodes decide differently) comes from the
+quorum intersection of any two ``2f + 1`` subsets of ``3f + 1`` nodes.
+
+The view-change subprotocol is simplified: because every round decides a
+fresh, independent command vector and no honest node ever decides in a failed
+view (deciding requires ``2f + 1`` commits, impossible when the primary
+equivocates between at most ``f`` faulty supporters per branch), carrying
+prepared certificates across views is unnecessary for safety in this setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConsensusError, LivenessError
+from repro.consensus.command_pool import CommandPool, SubmittedCommand
+from repro.consensus.interface import ConsensusDecision, ConsensusProtocol
+from repro.net.byzantine import (
+    ByzantineBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    SilentBehavior,
+    DelayingBehavior,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.network import SimulatedNetwork
+
+
+class PBFTConsensus(ConsensusProtocol):
+    """Three-phase PBFT over the simulated (partially synchronous) network."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        node_ids: list[str],
+        pool: CommandPool,
+        behaviors: dict[str, ByzantineBehavior] | None = None,
+        rng: np.random.Generator | None = None,
+        max_views: int = 32,
+        view_timeout: float | None = None,
+    ) -> None:
+        if len(node_ids) < 4:
+            raise ConsensusError("PBFT needs at least 4 nodes (N >= 3b + 1 with b >= 1)")
+        self.network = network
+        self.node_ids = list(node_ids)
+        self.pool = pool
+        self.behaviors = dict(behaviors or {})
+        self.rng = rng or np.random.default_rng(0)
+        self.max_views = int(max_views)
+        self.view_timeout = view_timeout
+        for node_id in self.node_ids:
+            self.network.register(node_id)
+
+    # -- protocol properties --------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def fault_tolerance(self) -> int:
+        """PBFT tolerates ``f = floor((N - 1) / 3)`` Byzantine nodes."""
+        return (self.num_nodes - 1) // 3
+
+    @property
+    def quorum(self) -> int:
+        return 2 * self.fault_tolerance + 1
+
+    def behavior_of(self, node_id: str) -> ByzantineBehavior:
+        return self.behaviors.get(node_id, HonestBehavior())
+
+    def honest_nodes(self) -> list[str]:
+        return [n for n in self.node_ids if not self.behavior_of(n).is_faulty]
+
+    def primary_for(self, round_index: int, view: int) -> str:
+        return self.node_ids[(round_index + view) % self.num_nodes]
+
+    # -- one round --------------------------------------------------------------------
+    def decide_round(self, round_index: int) -> dict[str, ConsensusDecision]:
+        selected = self.pool.peek_round()
+        if any(entry is None for entry in selected):
+            raise LivenessError(
+                "every state machine needs at least one pending client command"
+            )
+        for view in range(self.max_views):
+            primary = self.primary_for(round_index, view)
+            decisions = self._attempt_view(round_index, view, primary, selected)
+            if decisions:
+                sample = next(iter(decisions.values()))
+                for k, entry in enumerate(sample.selected):
+                    self.pool.mark_executed(k, entry)
+                return decisions
+        raise ConsensusError(
+            f"PBFT failed to decide round {round_index} within {self.max_views} views "
+            "(network may not have stabilised or too many faults)"
+        )
+
+    # -- internals ----------------------------------------------------------------------
+    def _attempt_view(
+        self,
+        round_index: int,
+        view: int,
+        primary: str,
+        selected: list[SubmittedCommand],
+    ) -> dict[str, ConsensusDecision]:
+        timeout = self.view_timeout or self.network.delay_model.synchronous_bound
+        payload = {
+            "commands": [list(entry.command) for entry in selected],
+            "clients": [entry.client_id for entry in selected],
+        }
+        self._primary_pre_prepare(round_index, view, primary, payload)
+        pre_prepares = self.network.collect_all(
+            self.node_ids,
+            kind=MessageKind.CONSENSUS_PROPOSAL,
+            round_index=round_index,
+            timeout=timeout,
+        )
+        # Prepare phase: honest nodes vote for the digest they received from
+        # the primary, provided the proposal is valid.
+        accepted_payloads: dict[str, dict] = {}
+        for node_id in self.honest_nodes():
+            proposals = [
+                m for m in pre_prepares.get(node_id, [])
+                if m.sender == primary and m.metadata.get("view") == view
+            ]
+            if len(proposals) != 1:
+                continue  # silent or equivocating primary: no prepare vote
+            proposal_payload = proposals[0].payload
+            if not self._is_valid_proposal(proposal_payload):
+                continue
+            accepted_payloads[node_id] = proposal_payload
+            vote = Message(
+                sender=node_id,
+                recipient="*",
+                kind=MessageKind.CONSENSUS_PREPARE,
+                round_index=round_index,
+                payload={"digest": self._digest(proposal_payload)},
+                metadata={"view": view},
+            )
+            self.network.broadcast(vote, recipients=self.node_ids)
+        prepares = self.network.collect_all(
+            self.node_ids,
+            kind=MessageKind.CONSENSUS_PREPARE,
+            round_index=round_index,
+            timeout=timeout,
+        )
+        # Commit phase.
+        for node_id in self.honest_nodes():
+            if node_id not in accepted_payloads:
+                continue
+            digest = self._digest(accepted_payloads[node_id])
+            supporting = {
+                m.sender
+                for m in prepares.get(node_id, [])
+                if m.metadata.get("view") == view and m.payload.get("digest") == digest
+            }
+            if len(supporting) >= self.quorum:
+                commit = Message(
+                    sender=node_id,
+                    recipient="*",
+                    kind=MessageKind.CONSENSUS_COMMIT,
+                    round_index=round_index,
+                    payload={"digest": digest},
+                    metadata={"view": view},
+                )
+                self.network.broadcast(commit, recipients=self.node_ids)
+        commits = self.network.collect_all(
+            self.node_ids,
+            kind=MessageKind.CONSENSUS_COMMIT,
+            round_index=round_index,
+            timeout=timeout,
+        )
+        decisions: dict[str, ConsensusDecision] = {}
+        for node_id in self.honest_nodes():
+            if node_id not in accepted_payloads:
+                continue
+            digest = self._digest(accepted_payloads[node_id])
+            supporting = {
+                m.sender
+                for m in commits.get(node_id, [])
+                if m.metadata.get("view") == view and m.payload.get("digest") == digest
+            }
+            if len(supporting) >= self.quorum:
+                decisions[node_id] = self._decision_from_payload(
+                    round_index, view, primary, accepted_payloads[node_id]
+                )
+        if not decisions:
+            return {}
+        tuples = {d.command_tuple() for d in decisions.values()}
+        if len(tuples) != 1:
+            raise ConsensusError("PBFT safety violation: conflicting decisions")
+        # A view only "succeeds" for the round when every honest node decided;
+        # otherwise the stragglers would need the (simplified-away) checkpoint
+        # sync, so we conservatively run another view for everyone.
+        if set(decisions) != set(self.honest_nodes()):
+            return {}
+        return decisions
+
+    def _primary_pre_prepare(
+        self, round_index: int, view: int, primary: str, payload: dict
+    ) -> None:
+        behavior = self.behavior_of(primary)
+        if not behavior.is_faulty:
+            message = Message(
+                sender=primary,
+                recipient="*",
+                kind=MessageKind.CONSENSUS_PROPOSAL,
+                round_index=round_index,
+                payload=payload,
+                metadata={"view": view},
+            )
+            self.network.broadcast(message, recipients=self.node_ids)
+            return
+        if isinstance(behavior, (SilentBehavior, DelayingBehavior)):
+            return
+        if isinstance(behavior, EquivocatingBehavior):
+            alt = dict(payload)
+            alt["commands"] = [[int(v) + 1 for v in row] for row in payload["commands"]]
+            midpoint = self.num_nodes // 2
+            for index, node_id in enumerate(self.node_ids):
+                choice = payload if index < midpoint else alt
+                self.network.send(
+                    Message(
+                        sender=primary,
+                        recipient=node_id,
+                        kind=MessageKind.CONSENSUS_PROPOSAL,
+                        round_index=round_index,
+                        payload=choice,
+                        metadata={"view": view},
+                    )
+                )
+            return
+        bogus = dict(payload)
+        bogus["clients"] = ["client:forged"] * len(payload["clients"])
+        message = Message(
+            sender=primary,
+            recipient="*",
+            kind=MessageKind.CONSENSUS_PROPOSAL,
+            round_index=round_index,
+            payload=bogus,
+            metadata={"view": view},
+        )
+        self.network.broadcast(message, recipients=self.node_ids)
+
+    def _is_valid_proposal(self, payload: dict) -> bool:
+        commands = payload.get("commands")
+        clients = payload.get("clients")
+        if not commands or not clients or len(commands) != self.pool.num_machines:
+            return False
+        for k, (command, client) in enumerate(zip(commands, clients)):
+            if not self.pool.was_submitted(k, command, client):
+                return False
+        return True
+
+    @staticmethod
+    def _digest(payload: dict) -> str:
+        import hashlib
+
+        canonical = repr(
+            (
+                tuple(tuple(int(v) for v in row) for row in payload["commands"]),
+                tuple(payload["clients"]),
+            )
+        ).encode()
+        return hashlib.sha256(canonical).hexdigest()
+
+    def _decision_from_payload(
+        self, round_index: int, view: int, primary: str, payload: dict
+    ) -> ConsensusDecision:
+        commands = np.array(payload["commands"], dtype=np.int64)
+        clients = list(payload["clients"])
+        selected = [
+            SubmittedCommand(
+                machine_index=k,
+                client_id=clients[k],
+                command=tuple(int(v) for v in commands[k]),
+                sequence=-1,
+            )
+            for k in range(commands.shape[0])
+        ]
+        return ConsensusDecision(
+            round_index=round_index,
+            commands=commands,
+            clients=clients,
+            selected=selected,
+            leader=primary,
+            view=view,
+        )

@@ -1,0 +1,141 @@
+"""CSM system configuration and the Theorem 1 / Theorem 2 feasibility bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.gf.field import Field
+from repro.coding.radius import (
+    composite_degree,
+    max_faults_partially_synchronous,
+    max_faults_synchronous,
+    max_machines_partially_synchronous,
+    max_machines_synchronous,
+)
+
+
+@dataclass
+class CSMConfig:
+    """A validated CSM deployment configuration.
+
+    Attributes
+    ----------
+    field:
+        The finite field (order must exceed ``num_nodes + num_machines`` so
+        distinct evaluation points exist).
+    num_nodes:
+        ``N``, the network size.
+    num_machines:
+        ``K``, how many state machines are hosted.
+    degree:
+        ``d``, the total degree of the transition polynomial.
+    num_faults:
+        ``b``, the number of Byzantine nodes the deployment must tolerate.
+    partially_synchronous:
+        Selects between the Theorem 1 (synchronous, ``2b`` penalty) and
+        Theorem 2 (partially synchronous, ``3b`` penalty) decoding bounds.
+    """
+
+    field: Field
+    num_nodes: int
+    num_machines: int
+    degree: int
+    num_faults: int = 0
+    partially_synchronous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {self.num_nodes}")
+        if self.num_machines < 1:
+            raise ConfigurationError(
+                f"need at least one state machine, got {self.num_machines}"
+            )
+        if self.num_machines > self.num_nodes:
+            raise ConfigurationError(
+                f"K={self.num_machines} exceeds N={self.num_nodes}"
+            )
+        if self.degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {self.degree}")
+        if self.num_faults < 0:
+            raise ConfigurationError(f"num_faults must be >= 0, got {self.num_faults}")
+        if self.field.order <= self.num_nodes + self.num_machines:
+            raise ConfigurationError(
+                f"field of order {self.field.order} too small for "
+                f"N={self.num_nodes}, K={self.num_machines}"
+            )
+        if self.num_machines > self.max_supported_machines:
+            raise ConfigurationError(
+                f"K={self.num_machines} violates the decoding bound: with N={self.num_nodes}, "
+                f"b={self.num_faults}, d={self.degree} "
+                f"({'partially synchronous' if self.partially_synchronous else 'synchronous'}) "
+                f"at most K={self.max_supported_machines} machines are supported"
+            )
+
+    # -- derived quantities -------------------------------------------------------------
+    @property
+    def composite_degree(self) -> int:
+        """Degree of ``h(z) = f(u(z), v(z))``: ``d (K - 1)``."""
+        return composite_degree(self.num_machines, self.degree)
+
+    @property
+    def decoding_dimension(self) -> int:
+        """Reed–Solomon dimension of the coded results: ``d(K-1) + 1``."""
+        return self.composite_degree + 1
+
+    @property
+    def max_supported_machines(self) -> int:
+        """Largest K supported at this (N, b, d) — the Theorem 1/2 bound."""
+        if self.partially_synchronous:
+            return max_machines_partially_synchronous(
+                self.num_nodes, self.num_faults, self.degree
+            )
+        return max_machines_synchronous(self.num_nodes, self.num_faults, self.degree)
+
+    @property
+    def max_tolerated_faults(self) -> int:
+        """Largest b decodable at this (N, K, d) — the Table 2 decoding row."""
+        if self.partially_synchronous:
+            return max_faults_partially_synchronous(
+                self.num_nodes, self.num_machines, self.degree
+            )
+        return max_faults_synchronous(self.num_nodes, self.num_machines, self.degree)
+
+    @property
+    def storage_efficiency(self) -> int:
+        """``gamma = K``: each node stores one coded state of a single state's size."""
+        return self.num_machines
+
+    @property
+    def security(self) -> int:
+        """``beta``: the scheme is b-secure for every b up to this value."""
+        return self.max_tolerated_faults
+
+    @property
+    def fault_fraction(self) -> float:
+        """``mu`` (or ``nu``): the fraction of nodes assumed faulty."""
+        return self.num_faults / self.num_nodes
+
+    # -- closed-form Theorem 1 / 2 formulas (for comparison with measurements) ------------
+    @classmethod
+    def theorem_max_machines(
+        cls, num_nodes: int, fault_fraction: float, degree: int, partially_synchronous: bool = False
+    ) -> int:
+        """``floor((1 - 2mu) N / d + 1 - 1/d)`` (or the ``1 - 3nu`` variant)."""
+        penalty = 3.0 if partially_synchronous else 2.0
+        value = (1.0 - penalty * fault_fraction) * num_nodes / degree + 1.0 - 1.0 / degree
+        return max(int(value // 1), 0)
+
+    def summary(self) -> dict:
+        """Dictionary used by the experiment reports."""
+        return {
+            "N": self.num_nodes,
+            "K": self.num_machines,
+            "d": self.degree,
+            "b": self.num_faults,
+            "setting": "partial-sync" if self.partially_synchronous else "sync",
+            "storage_efficiency": self.storage_efficiency,
+            "security": self.security,
+            "composite_degree": self.composite_degree,
+            "decoding_dimension": self.decoding_dimension,
+        }

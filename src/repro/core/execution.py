@@ -1,0 +1,287 @@
+"""The coded execution phase (Section 5.2).
+
+Given the commands agreed in the consensus phase, the engine:
+
+1. has every node form its coded command ``X~_i`` and compute the coded
+   result ``g_i = f(S~_i, X~_i)`` (operation-counted per node);
+2. collects the results each (honest) node would receive — Byzantine nodes
+   may corrupt, equivocate, delay, or stay silent;
+3. runs noisy polynomial interpolation (Reed–Solomon decoding) to recover
+   the composite polynomial ``h`` and evaluates it at the ``omega_k`` to
+   obtain every machine's true ``(S_k(t+1), Y_k(t))``;
+4. has every honest node update its coded state with its own coefficient
+   row (equation (1));
+5. verifies the recovered values against the reference (uncoded) execution
+   and reports per-node operation counts for the throughput metric.
+
+Both the synchronous rule (decode from all ``N`` results, up to ``b`` wrong)
+and the partially synchronous rule (decode from ``N - b`` results, up to
+``b`` of them wrong — silent nodes become erasures) are implemented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DecodingError
+from repro.gf.field import OperationCounter
+from repro.lcc.decoder import CodedResultDecoder
+from repro.lcc.encoder import CodedStateEncoder
+from repro.lcc.scheme import LagrangeScheme
+from repro.machine.interface import StateMachine
+from repro.net.byzantine import ByzantineBehavior, HonestBehavior
+from repro.replication.base import RoundResult
+from repro.core.config import CSMConfig
+from repro.core.node import CSMNode
+
+
+class CodedExecutionEngine:
+    """Executes CSM rounds over an in-memory bank of nodes."""
+
+    def __init__(
+        self,
+        config: CSMConfig,
+        machine: StateMachine,
+        node_ids: list[str] | None = None,
+        behaviors: dict[str, ByzantineBehavior] | None = None,
+        rng: np.random.Generator | None = None,
+        decoder: str = "berlekamp-welch",
+        decode_at_every_node: bool = False,
+    ) -> None:
+        if machine.degree != config.degree:
+            raise ConfigurationError(
+                f"configuration degree {config.degree} does not match the machine's "
+                f"transition degree {machine.degree}"
+            )
+        self.config = config
+        self.machine = machine
+        self.field = config.field
+        self.rng = rng or np.random.default_rng(0)
+        self.decode_at_every_node = bool(decode_at_every_node)
+        self.node_ids = list(node_ids) if node_ids else [
+            f"node-{i}" for i in range(config.num_nodes)
+        ]
+        if len(self.node_ids) != config.num_nodes:
+            raise ConfigurationError(
+                f"expected {config.num_nodes} node ids, got {len(self.node_ids)}"
+            )
+        self.behaviors = dict(behaviors or {})
+        self.scheme = LagrangeScheme(
+            self.field, config.num_machines, config.num_nodes
+        )
+        self.encoder = CodedStateEncoder(self.scheme)
+        self.decoder = CodedResultDecoder(
+            self.scheme, transition_degree=config.degree, decoder=decoder
+        )
+        # Reference (true) states; shape (K, state_dim).
+        self.states = np.tile(machine.initial_state, (config.num_machines, 1))
+        coded_states = self.encoder.encode(self.states)
+        self.nodes: list[CSMNode] = []
+        for index, node_id in enumerate(self.node_ids):
+            behavior = self.behaviors.get(node_id, HonestBehavior())
+            self.nodes.append(
+                CSMNode(
+                    node_id=node_id,
+                    node_index=index,
+                    field=self.field,
+                    transition=machine.transition,
+                    coefficient_row=self.scheme.coefficient_row(index),
+                    initial_coded_state=coded_states[index],
+                    behavior=behavior,
+                )
+            )
+        self.round_index = 0
+
+    # -- structural metrics --------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def num_machines(self) -> int:
+        return self.config.num_machines
+
+    @property
+    def num_faulty(self) -> int:
+        return sum(1 for node in self.nodes if node.is_faulty)
+
+    @property
+    def storage_efficiency(self) -> float:
+        """gamma = (K states of data) / (one coded state per node) = K."""
+        return float(self.num_machines)
+
+    def honest_nodes(self) -> list[CSMNode]:
+        return [node for node in self.nodes if not node.is_faulty]
+
+    def node_by_id(self, node_id: str) -> CSMNode:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ConfigurationError(f"unknown node id {node_id}")
+
+    # -- round execution ------------------------------------------------------------------
+    def execute_round(self, commands: np.ndarray) -> RoundResult:
+        """Run the coded execution phase for one agreed command vector."""
+        commands_arr = self.field.array(commands)
+        expected_shape = (self.num_machines, self.machine.command_dim)
+        if commands_arr.shape != expected_shape:
+            raise ConfigurationError(
+                f"expected commands of shape {expected_shape}, got {commands_arr.shape}"
+            )
+        for node in self.nodes:
+            node.reset_counter()
+
+        # Reference execution (ground truth used only for verification).
+        reference_states, reference_outputs = self._reference_step(commands_arr)
+        reference_results = np.concatenate([reference_states, reference_outputs], axis=1)
+
+        # Step 1-2: every node encodes its command and computes on coded data.
+        true_results = np.zeros(
+            (self.num_nodes, self.machine.transition.result_dim), dtype=np.int64
+        )
+        for node in self.nodes:
+            coded_command = node.encode_command(commands_arr)
+            true_results[node.node_index] = node.execute_coded(coded_command)
+
+        # Step 3: gather what each node reports and decode.
+        decode_counter = OperationCounter()
+        diagnostics: dict = {}
+        try:
+            decoded_outputs, error_nodes = self._decode_phase(
+                true_results, decode_counter, diagnostics
+            )
+            decoding_failed = False
+        except DecodingError as exc:
+            decoded_outputs = None
+            error_nodes = ()
+            decoding_failed = True
+            diagnostics["decoding_error"] = str(exc)
+
+        correct = False
+        decoded_states = reference_states  # fallback for book-keeping on failure
+        accepted_outputs = np.zeros_like(reference_outputs)
+        if not decoding_failed:
+            decoded_states = decoded_outputs[:, : self.machine.state_dim]
+            accepted_outputs = decoded_outputs[:, self.machine.state_dim :]
+            correct = bool(
+                np.array_equal(decoded_outputs, reference_results)
+            )
+
+        # Step 4: honest nodes refresh their coded states from the decoded states.
+        if not decoding_failed:
+            for node in self.honest_nodes():
+                node.update_coded_state(decoded_states)
+
+        # Operation accounting: every honest node performs the (identical)
+        # decoding, so the decode cost is charged to each of them.
+        ops_per_node: dict[str, int] = {}
+        for node in self.nodes:
+            ops = node.counter.total
+            if not node.is_faulty and not decoding_failed:
+                ops += decode_counter.total if not self.decode_at_every_node else 0
+            ops_per_node[node.node_id] = ops
+        if self.decode_at_every_node:
+            # per-node decode counters were already merged inside _decode_phase
+            pass
+
+        # Advance the reference state (the true machines move on regardless).
+        self.states = reference_states
+        self.round_index += 1
+        diagnostics.update(
+            {
+                "error_nodes": tuple(error_nodes),
+                "num_faulty": self.num_faulty,
+                "decoding_failed": decoding_failed,
+                "decode_ops": decode_counter.total,
+            }
+        )
+        return RoundResult(
+            round_index=self.round_index - 1,
+            outputs=accepted_outputs,
+            states=decoded_states.copy(),
+            correct=correct,
+            ops_per_node=ops_per_node,
+            diagnostics=diagnostics,
+        )
+
+    # -- internals ----------------------------------------------------------------------------
+    def _reference_step(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        next_states = np.zeros_like(self.states)
+        outputs = np.zeros((self.num_machines, self.machine.output_dim), dtype=np.int64)
+        for k in range(self.num_machines):
+            state, output = self.machine.step(self.states[k], commands[k])
+            next_states[k] = state
+            outputs[k] = output
+        return next_states, outputs
+
+    def _reported_results(
+        self, true_results: np.ndarray, recipient: str | None
+    ) -> list[np.ndarray | None]:
+        """The per-sender results as seen by ``recipient`` (or by 'the network')."""
+        reported: list[np.ndarray | None] = []
+        for node in self.nodes:
+            value = node.report_result(
+                true_results[node.node_index], self.rng, recipient=recipient
+            )
+            if value is None or node.behavior.delays_message():
+                reported.append(None)
+            else:
+                reported.append(self.field.array(value).reshape(-1))
+        return reported
+
+    def _decode_phase(
+        self,
+        true_results: np.ndarray,
+        decode_counter: OperationCounter,
+        diagnostics: dict,
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Decode the round; returns (decoded K x result_dim, error node indices)."""
+        if self.decode_at_every_node:
+            return self._decode_at_each_honest_node(true_results, diagnostics)
+        # Single representative decode: all honest nodes receive the same
+        # broadcast values (no equivocation), so one decode stands for all.
+        reported = self._reported_results(true_results, recipient=None)
+        self.field.attach_counter(decode_counter)
+        try:
+            if any(entry is None for entry in reported):
+                decoded = self.decoder.decode_partial(reported)
+            else:
+                stacked = np.vstack([entry for entry in reported])
+                decoded = self.decoder.decode(stacked)
+        finally:
+            self.field.attach_counter(None)
+        return decoded.outputs, decoded.error_nodes
+
+    def _decode_at_each_honest_node(
+        self, true_results: np.ndarray, diagnostics: dict
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Faithful per-node decoding (handles equivocating senders).
+
+        Every honest node decodes the set of results *it* received; the
+        engine then checks that all honest nodes recovered identical values
+        (the paper's claim that equivocation cannot cause divergence) and
+        charges each node its own decoding cost.
+        """
+        per_node_outputs: dict[str, np.ndarray] = {}
+        union_errors: set[int] = set()
+        for node in self.honest_nodes():
+            reported = self._reported_results(true_results, recipient=node.node_id)
+            self.field.attach_counter(node.counter)
+            try:
+                if any(entry is None for entry in reported):
+                    decoded = self.decoder.decode_partial(reported)
+                else:
+                    stacked = np.vstack([entry for entry in reported])
+                    decoded = self.decoder.decode(stacked)
+            finally:
+                self.field.attach_counter(None)
+            per_node_outputs[node.node_id] = decoded.outputs
+            union_errors.update(decoded.error_nodes)
+        values = list(per_node_outputs.values())
+        for other in values[1:]:
+            if not np.array_equal(values[0], other):
+                raise DecodingError(
+                    "honest nodes decoded different results despite valid decoding"
+                )
+        diagnostics["per_node_decode"] = True
+        return values[0], tuple(sorted(union_errors))

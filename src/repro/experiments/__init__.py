@@ -1,0 +1,11 @@
+"""Executable regeneration of every table and figure in the paper.
+
+Each module exposes a ``run(...)`` function returning plain dict rows (used
+by the benchmark suite and the tests) and a ``main()`` that prints a
+formatted report, so e.g. ``python -m repro.experiments.table1`` regenerates
+Table 1 from both the closed-form formulas and live measurements.
+"""
+
+from repro.experiments import table1, table2, scaling, intermix_report
+
+__all__ = ["table1", "table2", "scaling", "intermix_report"]

@@ -1,0 +1,151 @@
+"""Experiment: INTERMIX behaviour (Figure 5 / Algorithm 1 / Section 6.1).
+
+Three measurements:
+
+* **soundness sweep** — over many random matrices and cheating-worker
+  strategies, the fraction of runs in which the fraud was caught (should be
+  1.0 whenever at least one auditor is honest) and the number of interaction
+  rounds used (should be at most ``log2 K``).
+* **overhead accounting** — measured worker / auditor / commoner operation
+  counts against the worst-case formula
+  ``(J + 1) c(AX) + 8JK + 3J log K + N - J - 1``.
+* **committee sizing** — ``J = ceil(log eps / log mu)`` and the resulting
+  soundness failure probability ``mu**J`` for a sweep of ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.complexity import intermix_worst_case_overhead
+from repro.experiments.report import format_table
+from repro.gf.prime_field import PrimeField
+from repro.intermix.committee import CommitteeElection, required_committee_size
+from repro.intermix.protocol import IntermixProtocol
+from repro.intermix.worker import WorkerStrategy
+
+
+def soundness_rows(
+    vector_lengths: tuple[int, ...] = (8, 32, 128),
+    num_nodes: int = 16,
+    trials: int = 5,
+    seed: int = 0,
+) -> list[dict]:
+    field = PrimeField()
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    rows = []
+    for length in vector_lengths:
+        for strategy in (
+            WorkerStrategy.HONEST,
+            WorkerStrategy.CORRUPT_RESULT,
+            WorkerStrategy.CONSISTENT_LIAR,
+        ):
+            rng = np.random.default_rng(seed)
+            caught = 0
+            accepted = 0
+            max_queries = 0
+            for _ in range(trials):
+                protocol = IntermixProtocol(
+                    field,
+                    node_ids,
+                    fault_fraction=0.25,
+                    rng=rng,
+                    worker_strategies={n: strategy for n in node_ids},
+                )
+                matrix = rng.integers(0, field.order, size=(num_nodes, length))
+                vector = rng.integers(0, field.order, size=length)
+                outcome = protocol.run(matrix, vector)
+                if outcome.accepted:
+                    accepted += 1
+                if outcome.fraud_detected:
+                    caught += 1
+                for transcript in outcome.transcripts:
+                    max_queries = max(max_queries, transcript.queries_issued)
+            rows.append(
+                {
+                    "K": length,
+                    "worker": strategy.value,
+                    "accepted_fraction": accepted / trials,
+                    "fraud_caught_fraction": caught / trials,
+                    "max_queries": max_queries,
+                    "2*log2K": 2 * math.ceil(math.log2(length)),
+                }
+            )
+    return rows
+
+
+def overhead_rows(
+    vector_lengths: tuple[int, ...] = (16, 64, 256),
+    num_nodes: int = 16,
+    seed: int = 0,
+) -> list[dict]:
+    field = PrimeField()
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    rng = np.random.default_rng(seed)
+    rows = []
+    for length in vector_lengths:
+        protocol = IntermixProtocol(field, node_ids, fault_fraction=0.25, rng=rng)
+        matrix = rng.integers(0, field.order, size=(num_nodes, length))
+        vector = rng.integers(0, field.order, size=length)
+        outcome = protocol.run(matrix, vector)
+        j = len(outcome.committee.auditors)
+        product_cost = 2 * num_nodes * length
+        rows.append(
+            {
+                "K": length,
+                "J": j,
+                "worker_ops": outcome.worker_operations,
+                "auditor_ops_total": sum(outcome.auditor_operations.values()),
+                "commoner_ops_total": sum(outcome.commoner_operations.values()),
+                "worst_case_formula": intermix_worst_case_overhead(
+                    num_nodes, length, j, product_cost
+                ),
+            }
+        )
+    return rows
+
+
+def committee_rows(
+    fault_fraction: float = 0.25,
+    failure_probabilities: tuple[float, ...] = (1e-3, 1e-6, 1e-9),
+) -> list[dict]:
+    rows = []
+    for eps in failure_probabilities:
+        j = required_committee_size(fault_fraction, eps)
+        rows.append(
+            {
+                "mu": fault_fraction,
+                "eps_target": eps,
+                "J": j,
+                "actual_failure_probability": fault_fraction**j,
+            }
+        )
+    return rows
+
+
+def run(**kwargs) -> dict:
+    return {
+        "soundness": soundness_rows(**{k: v for k, v in kwargs.items() if k in (
+            "vector_lengths", "num_nodes", "trials", "seed")}),
+        "overhead": overhead_rows(**{k: v for k, v in kwargs.items() if k in (
+            "vector_lengths", "num_nodes", "seed")}),
+        "committee": committee_rows(),
+    }
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    result = run()
+    print("INTERMIX soundness (fraction of cheating workers caught)")
+    print(format_table(result["soundness"]))
+    print()
+    print("INTERMIX overhead accounting vs Section 6.1 worst case")
+    print(format_table(result["overhead"]))
+    print()
+    print("Committee sizing J = ceil(log eps / log mu)")
+    print(format_table(result["committee"]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

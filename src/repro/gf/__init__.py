@@ -1,0 +1,59 @@
+"""Finite-field substrate used by every coding layer of the CSM reproduction.
+
+The paper operates over an arbitrary field ``F`` whose size is at least the
+network size ``N``.  Two constructions are provided:
+
+* :class:`~repro.gf.prime_field.PrimeField` — ``GF(p)`` for a prime ``p``,
+  with numpy-vectorised arithmetic.  The default modulus is the Mersenne
+  prime ``2**31 - 1`` so element products fit in ``int64`` without overflow.
+* :class:`~repro.gf.extension_field.BinaryExtensionField` — ``GF(2**m)``,
+  used by the Appendix A embedding of Boolean state machines.
+
+On top of the fields the package provides dense univariate polynomials
+(:class:`~repro.gf.polynomial.Poly`), sparse multivariate polynomials
+(:class:`~repro.gf.multivariate.MultivariatePolynomial`, the representation of
+state-transition functions), Lagrange/barycentric interpolation, Vandermonde
+helpers, finite-field linear algebra and subproduct-tree fast multi-point
+evaluation.
+"""
+
+from repro.gf.field import Field, OperationCounter
+from repro.gf.prime_field import PrimeField, DEFAULT_PRIME
+from repro.gf.extension_field import BinaryExtensionField
+from repro.gf.polynomial import Poly
+from repro.gf.multivariate import MultivariatePolynomial, Monomial
+from repro.gf.lagrange import (
+    lagrange_basis_row,
+    lagrange_coefficient_matrix,
+    lagrange_interpolate,
+    barycentric_weights,
+    barycentric_evaluate,
+)
+from repro.gf.vandermonde import vandermonde_matrix, vandermonde_solve
+from repro.gf.linalg import gf_matmul, gf_matvec, gf_solve, gf_inverse_matrix, gf_rank
+from repro.gf.fast_eval import SubproductTree, multi_point_evaluate
+
+__all__ = [
+    "Field",
+    "OperationCounter",
+    "PrimeField",
+    "DEFAULT_PRIME",
+    "BinaryExtensionField",
+    "Poly",
+    "MultivariatePolynomial",
+    "Monomial",
+    "lagrange_basis_row",
+    "lagrange_coefficient_matrix",
+    "lagrange_interpolate",
+    "barycentric_weights",
+    "barycentric_evaluate",
+    "vandermonde_matrix",
+    "vandermonde_solve",
+    "gf_matmul",
+    "gf_matvec",
+    "gf_solve",
+    "gf_inverse_matrix",
+    "gf_rank",
+    "SubproductTree",
+    "multi_point_evaluate",
+]

@@ -1,0 +1,140 @@
+"""Fast multi-point evaluation and interpolation via subproduct trees.
+
+Section 6.2 of the paper relies on fast polynomial arithmetic — interpolation
+in ``O(K log^2 K log log K)`` and multi-point evaluation in
+``O(N log^2 N log log N)`` — to make the delegated worker's coding cost
+quasilinear.  This module implements the classical subproduct-tree algorithms
+(divide-and-conquer evaluation and interpolation); the field multiplication
+itself is schoolbook, so the constants differ from the paper's model, but the
+structural speed-up over naive ``O(NK)`` evaluation is preserved and is what
+the throughput-scaling benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import FieldError
+from repro.gf.field import Field
+from repro.gf.polynomial import Poly
+
+
+class SubproductTree:
+    """Binary tree of products ``prod (z - x_i)`` over subsets of the points.
+
+    The leaves are the linear polynomials ``z - x_i``; each internal node is
+    the product of its children.  The root is the node polynomial of the full
+    point set.  The tree supports:
+
+    * :meth:`evaluate` — evaluate a polynomial at every point by recursive
+      remaindering (fast multi-point evaluation).
+    * :meth:`interpolate` — build the interpolant through values at the
+      points by the divide-and-conquer combination of sub-interpolants.
+    """
+
+    def __init__(self, field: Field, points: Sequence[int]) -> None:
+        canonical = [field.element(int(p)) for p in points]
+        if len(set(canonical)) != len(canonical):
+            raise FieldError("subproduct tree requires distinct points")
+        if not canonical:
+            raise FieldError("subproduct tree requires at least one point")
+        self.field = field
+        self.points = canonical
+        # levels[0] is the list of leaves; levels[-1] has a single root.
+        self.levels: list[list[Poly]] = []
+        leaves = [Poly(field, [field.neg(x), 1]) for x in canonical]
+        self.levels.append(leaves)
+        current = leaves
+        while len(current) > 1:
+            nxt: list[Poly] = []
+            for i in range(0, len(current), 2):
+                if i + 1 < len(current):
+                    nxt.append(current[i] * current[i + 1])
+                else:
+                    nxt.append(current[i])
+            self.levels.append(nxt)
+            current = nxt
+
+    @property
+    def root(self) -> Poly:
+        return self.levels[-1][0]
+
+    # -- fast evaluation ------------------------------------------------------------
+    def evaluate(self, poly: Poly) -> np.ndarray:
+        """Evaluate ``poly`` at every tree point (order matches ``points``)."""
+        if poly.field != self.field:
+            raise FieldError("polynomial over a different field")
+        values = self._evaluate_recursive(poly, len(self.levels) - 1, 0)
+        return np.asarray(values, dtype=np.int64)
+
+    def _evaluate_recursive(self, poly: Poly, level: int, index: int) -> list[int]:
+        node = self.levels[level][index]
+        reduced = poly % node if poly.degree >= node.degree else poly
+        if level == 0:
+            # node is (z - x); the remainder is the constant poly(x).
+            return [reduced.coefficient(0)]
+        left_index = 2 * index
+        right_index = 2 * index + 1
+        left = self._evaluate_recursive(reduced, level - 1, left_index)
+        if right_index < len(self.levels[level - 1]):
+            right = self._evaluate_recursive(reduced, level - 1, right_index)
+        else:
+            right = []
+        return left + right
+
+    # -- fast interpolation ------------------------------------------------------------
+    def interpolate(self, values: Sequence[int]) -> Poly:
+        """Interpolating polynomial through ``(points[i], values[i])``."""
+        vals = [self.field.element(int(v)) for v in values]
+        if len(vals) != len(self.points):
+            raise FieldError(
+                f"expected {len(self.points)} values, got {len(vals)}"
+            )
+        derivative = self.root.derivative()
+        denominators = self._evaluate_recursive(derivative, len(self.levels) - 1, 0)
+        weights = [
+            self.field.mul(v, self.field.inv(d)) for v, d in zip(vals, denominators)
+        ]
+        poly = self._interpolate_recursive(weights, len(self.levels) - 1, 0)
+        return poly
+
+    def _interpolate_recursive(
+        self, weights: Sequence[int], level: int, index: int
+    ) -> Poly:
+        if level == 0:
+            return Poly.constant(self.field, weights[0])
+        left_index = 2 * index
+        right_index = 2 * index + 1
+        children = self.levels[level - 1]
+        left_size = self._subtree_size(level - 1, left_index)
+        left_weights = weights[:left_size]
+        right_weights = weights[left_size:]
+        left_poly = self._interpolate_recursive(left_weights, level - 1, left_index)
+        if right_index < len(children) and right_weights:
+            right_poly = self._interpolate_recursive(right_weights, level - 1, right_index)
+            return left_poly * children[right_index] + right_poly * children[left_index]
+        return left_poly
+
+    def _subtree_size(self, level: int, index: int) -> int:
+        """Number of leaf points under the node at (level, index)."""
+        if level == 0:
+            return 1
+        left = self._subtree_size(level - 1, 2 * index)
+        right_index = 2 * index + 1
+        if right_index < len(self.levels[level - 1]):
+            return left + self._subtree_size(level - 1, right_index)
+        return left
+
+
+def multi_point_evaluate(field: Field, poly: Poly, points: Sequence[int]) -> np.ndarray:
+    """Evaluate ``poly`` at ``points`` using a subproduct tree.
+
+    Falls back to Horner evaluation for very small point sets where building
+    the tree costs more than it saves.
+    """
+    if len(points) <= 4 or poly.degree <= 1:
+        return poly.evaluate_many(list(points))
+    tree = SubproductTree(field, points)
+    return tree.evaluate(poly)

@@ -1,0 +1,145 @@
+"""Lagrange interpolation utilities.
+
+CSM's coded state (Section 5.1) is defined through the Lagrange interpolation
+polynomial ``u_t(z) = sum_k S_k(t) * prod_{l != k} (z - omega_l)/(omega_k - omega_l)``.
+The coded state of node ``i`` is ``u_t(alpha_i)``; the coefficients
+``c_ik = prod_{l != k} (alpha_i - omega_l)/(omega_k - omega_l)`` form the
+``N x K`` encoding matrix that INTERMIX later verifies.
+
+This module provides:
+
+* :func:`lagrange_basis_row` — the row ``(c_i1, ..., c_iK)`` for one
+  evaluation point.
+* :func:`lagrange_coefficient_matrix` — the full ``N x K`` matrix ``C``.
+* :func:`lagrange_interpolate` — the interpolating :class:`Poly` through
+  ``(x_j, y_j)`` pairs.
+* barycentric evaluation, which avoids materialising the coefficient form
+  when only evaluations are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import FieldError
+from repro.gf.field import Field
+from repro.gf.polynomial import Poly
+
+
+def _require_distinct(field: Field, points: Sequence[int], label: str) -> list[int]:
+    canonical = [field.element(int(p)) for p in points]
+    if len(set(canonical)) != len(canonical):
+        raise FieldError(f"{label} must be distinct field elements")
+    return canonical
+
+
+def lagrange_basis_row(
+    field: Field, omegas: Sequence[int], alpha: int
+) -> np.ndarray:
+    """Return ``[c_1, ..., c_K]`` with ``c_k = prod_{l != k} (alpha - omega_l)/(omega_k - omega_l)``.
+
+    These are the Lagrange basis polynomials evaluated at ``alpha``; a coded
+    state is the inner product of this row with the vector of true states.
+    """
+    omegas = _require_distinct(field, omegas, "interpolation points")
+    alpha = field.element(alpha)
+    k = len(omegas)
+    row = np.zeros(k, dtype=np.int64)
+    for idx in range(k):
+        numerator = 1
+        denominator = 1
+        for other in range(k):
+            if other == idx:
+                continue
+            numerator = field.mul(numerator, field.sub(alpha, omegas[other]))
+            denominator = field.mul(denominator, field.sub(omegas[idx], omegas[other]))
+        row[idx] = field.mul(numerator, field.inv(denominator))
+    return row
+
+
+def lagrange_coefficient_matrix(
+    field: Field, omegas: Sequence[int], alphas: Sequence[int]
+) -> np.ndarray:
+    """The ``N x K`` matrix ``C = [c_ik]`` mapping true states to coded states.
+
+    Row ``i`` corresponds to evaluation point ``alphas[i]``; column ``k`` to
+    interpolation point ``omegas[k]``.  ``coded = C @ states`` over the field.
+    """
+    omegas = _require_distinct(field, omegas, "interpolation points")
+    alphas = _require_distinct(field, alphas, "evaluation points")
+    matrix = np.zeros((len(alphas), len(omegas)), dtype=np.int64)
+    for i, alpha in enumerate(alphas):
+        matrix[i, :] = lagrange_basis_row(field, omegas, alpha)
+    return matrix
+
+
+def lagrange_interpolate(
+    field: Field, xs: Sequence[int], ys: Sequence[int]
+) -> Poly:
+    """Return the unique polynomial of degree < len(xs) through ``(x_j, y_j)``."""
+    xs = _require_distinct(field, xs, "interpolation abscissae")
+    ys = [field.element(int(y)) for y in ys]
+    if len(xs) != len(ys):
+        raise FieldError(
+            f"interpolation needs matching point counts, got {len(xs)} and {len(ys)}"
+        )
+    result = Poly.zero(field)
+    for j, (xj, yj) in enumerate(zip(xs, ys)):
+        if yj == 0:
+            continue
+        numerator = Poly.one(field)
+        denominator = 1
+        for m, xm in enumerate(xs):
+            if m == j:
+                continue
+            numerator = numerator * Poly(field, [field.neg(xm), 1])
+            denominator = field.mul(denominator, field.sub(xj, xm))
+        scale = field.mul(yj, field.inv(denominator))
+        result = result + numerator.scale(scale)
+    return result
+
+
+def barycentric_weights(field: Field, xs: Sequence[int]) -> np.ndarray:
+    """Barycentric weights ``w_j = 1 / prod_{m != j} (x_j - x_m)``."""
+    xs = _require_distinct(field, xs, "interpolation abscissae")
+    weights = np.zeros(len(xs), dtype=np.int64)
+    for j, xj in enumerate(xs):
+        denom = 1
+        for m, xm in enumerate(xs):
+            if m == j:
+                continue
+            denom = field.mul(denom, field.sub(xj, xm))
+        weights[j] = field.inv(denom)
+    return weights
+
+
+def barycentric_evaluate(
+    field: Field,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    weights: np.ndarray,
+    point: int,
+) -> int:
+    """Evaluate the interpolant through ``(xs, ys)`` at ``point``.
+
+    Uses the first barycentric form ``L(z) = l(z) * sum_j w_j y_j / (z - x_j)``
+    where ``l(z) = prod_j (z - x_j)``.  If ``point`` coincides with an
+    abscissa the corresponding ``y`` value is returned directly.
+    """
+    xs = [field.element(int(x)) for x in xs]
+    ys = [field.element(int(y)) for y in ys]
+    point = field.element(point)
+    for xj, yj in zip(xs, ys):
+        if xj == point:
+            return yj
+    node_poly_value = 1
+    for xj in xs:
+        node_poly_value = field.mul(node_poly_value, field.sub(point, xj))
+    total = 0
+    for xj, yj, wj in zip(xs, ys, weights):
+        term = field.mul(int(wj), yj)
+        term = field.mul(term, field.inv(field.sub(point, xj)))
+        total = field.add(total, term)
+    return field.mul(node_poly_value, total)

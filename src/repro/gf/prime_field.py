@@ -1,0 +1,190 @@
+"""Prime field ``GF(p)`` with numpy-vectorised arithmetic.
+
+The default modulus is the Mersenne prime ``2**31 - 1``.  With all canonical
+representatives below ``2**31``, the product of two elements fits in a signed
+64-bit integer, so every element-wise operation can be carried out directly on
+``int64`` numpy arrays without resorting to Python-object arithmetic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import FieldError
+from repro.gf.field import Field
+
+#: Mersenne prime 2**31 - 1; large enough for any realistic network size and
+#: safe for int64 products.
+DEFAULT_PRIME = 2_147_483_647
+
+#: A small set of useful primes for tests and experiments.
+SMALL_PRIMES = (7, 11, 13, 17, 97, 101, 257, 65_537)
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit integers."""
+    if n < 2:
+        return False
+    small = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in small:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class PrimeField(Field):
+    """The field of integers modulo a prime ``p``.
+
+    Scalars are Python ``int`` values in ``[0, p)``; vectors are numpy
+    ``int64`` arrays with the same canonical range.  All arithmetic methods
+    accept either form (and broadcast like numpy).
+
+    Parameters
+    ----------
+    modulus:
+        The prime modulus.  Must be prime and small enough that ``p**2`` fits
+        in a signed 64-bit integer (``p < 2**31.5``); the default Mersenne
+        prime satisfies both.
+    """
+
+    def __init__(self, modulus: int = DEFAULT_PRIME) -> None:
+        super().__init__()
+        modulus = int(modulus)
+        if not _is_probable_prime(modulus):
+            raise FieldError(f"PrimeField modulus must be prime, got {modulus}")
+        if modulus * modulus >= 2**63:
+            raise FieldError(
+                "PrimeField modulus too large for int64-safe vectorised products; "
+                f"got {modulus}"
+            )
+        self._p = modulus
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return self._p
+
+    @property
+    def characteristic(self) -> int:
+        return self._p
+
+    @property
+    def modulus(self) -> int:
+        return self._p
+
+    # -- element handling -------------------------------------------------------
+    def element(self, value: int) -> int:
+        return int(value) % self._p
+
+    def array(self, values: Iterable[int] | np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.int64)
+        return np.mod(arr, self._p)
+
+    # -- arithmetic ----------------------------------------------------------------
+    def add(self, a, b):
+        self._count_add(self._size_of(a, b))
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np.mod(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), self._p)
+        return (int(a) + int(b)) % self._p
+
+    def sub(self, a, b):
+        self._count_add(self._size_of(a, b))
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np.mod(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), self._p)
+        return (int(a) - int(b)) % self._p
+
+    def mul(self, a, b):
+        self._count_mul(self._size_of(a, b))
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np.mod(np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64), self._p)
+        return (int(a) * int(b)) % self._p
+
+    def neg(self, a):
+        self._count_add(self._size_of(a))
+        if isinstance(a, np.ndarray):
+            return np.mod(-np.asarray(a, dtype=np.int64), self._p)
+        return (-int(a)) % self._p
+
+    def inv(self, a):
+        bits = max(self._p.bit_length() - 1, 1)
+        if isinstance(a, np.ndarray):
+            if np.any(np.mod(a, self._p) == 0):
+                raise FieldError("cannot invert zero element of GF(p)")
+            self._count_inv(a.size, mul_equivalent=2 * bits * a.size)
+            return self._vector_pow(np.asarray(a, dtype=np.int64), self._p - 2)
+        value = int(a) % self._p
+        if value == 0:
+            raise FieldError("cannot invert zero element of GF(p)")
+        self._count_inv(1, mul_equivalent=2 * bits)
+        return pow(value, self._p - 2, self._p)
+
+    def pow(self, a, exponent: int):
+        exponent = int(exponent)
+        if exponent < 0:
+            return self.pow(self.inv(a), -exponent)
+        if isinstance(a, np.ndarray):
+            self._count_mul(2 * max(exponent.bit_length(), 1) * a.size)
+            return self._vector_pow(np.asarray(a, dtype=np.int64), exponent)
+        self._count_mul(2 * max(exponent.bit_length(), 1))
+        return pow(int(a) % self._p, exponent, self._p)
+
+    def _vector_pow(self, base: np.ndarray, exponent: int) -> np.ndarray:
+        """Square-and-multiply over an int64 array, elementwise."""
+        result = np.ones_like(base)
+        base = np.mod(base, self._p)
+        e = int(exponent)
+        while e > 0:
+            if e & 1:
+                result = np.mod(result * base, self._p)
+            base = np.mod(base * base, self._p)
+            e >>= 1
+        return result
+
+    # -- extras ------------------------------------------------------------------------
+    def powers(self, base: int, count: int) -> np.ndarray:
+        """Return ``[base**0, base**1, ..., base**(count-1)]`` as an array."""
+        base = self.element(base)
+        out = np.empty(count, dtype=np.int64)
+        acc = 1
+        for i in range(count):
+            out[i] = acc
+            acc = (acc * base) % self._p
+        self._count_mul(max(count - 1, 0))
+        return out
+
+    def geometric_column(self, points: np.ndarray, degree: int) -> np.ndarray:
+        """Return the matrix ``[points_i ** j]`` for ``j = 0..degree`` (Vandermonde)."""
+        pts = self.array(points).reshape(-1)
+        matrix = np.empty((pts.shape[0], degree + 1), dtype=np.int64)
+        matrix[:, 0] = 1
+        for j in range(1, degree + 1):
+            matrix[:, j] = np.mod(matrix[:, j - 1] * pts, self._p)
+        self._count_mul(pts.shape[0] * degree)
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PrimeField(p={self._p})"
+
+
+@lru_cache(maxsize=None)
+def default_field() -> PrimeField:
+    """Shared default field instance (``GF(2**31 - 1)``) without a counter."""
+    return PrimeField(DEFAULT_PRIME)

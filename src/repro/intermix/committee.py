@@ -1,0 +1,121 @@
+"""Random committee / leader election for INTERMIX.
+
+The paper's analysis: if at most a ``mu`` fraction of the nodes are dishonest
+and ``J`` auditors are chosen uniformly at random, the probability that *no*
+auditor is honest is at most ``mu**J``; choosing ``J = log(eps) / log(mu)``
+makes that probability at most ``eps``.  The election itself can be done by
+per-node coin tosses with probability ``J / N`` (with banning of nodes that
+impose pointless audits), by an off-the-shelf distributed randomness beacon,
+or hidden behind VRFs; for the simulation we use a seeded RNG which plays the
+role of the shared randomness beacon, and we expose the committee-size
+formula so the experiments can sweep ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Committee:
+    """The outcome of one election."""
+
+    worker: str
+    auditors: list[str]
+    commoners: list[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.auditors)
+
+    def role_of(self, node_id: str) -> str:
+        if node_id == self.worker:
+            return "worker"
+        if node_id in self.auditors:
+            return "auditor"
+        return "commoner"
+
+
+def required_committee_size(fault_fraction: float, failure_probability: float) -> int:
+    """``J = ceil(log eps / log mu)`` — smallest J with ``mu**J <= eps``.
+
+    For ``mu = 0`` any single auditor suffices; ``mu >= 1`` is rejected
+    because no committee size can help when every node may be dishonest.
+    """
+    if not 0 <= fault_fraction < 1:
+        raise ConfigurationError(
+            f"fault fraction must lie in [0, 1), got {fault_fraction}"
+        )
+    if not 0 < failure_probability < 1:
+        raise ConfigurationError(
+            f"failure probability must lie in (0, 1), got {failure_probability}"
+        )
+    if fault_fraction == 0:
+        return 1
+    j = math.ceil(math.log(failure_probability) / math.log(fault_fraction))
+    return max(int(j), 1)
+
+
+class CommitteeElection:
+    """Elects a worker and a committee of auditors from the node set."""
+
+    def __init__(
+        self,
+        node_ids: list[str],
+        fault_fraction: float,
+        failure_probability: float = 1e-6,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not node_ids:
+            raise ConfigurationError("election needs at least one node")
+        self.node_ids = list(node_ids)
+        self.fault_fraction = float(fault_fraction)
+        self.failure_probability = float(failure_probability)
+        self.rng = rng or np.random.default_rng(0)
+
+    @property
+    def committee_size(self) -> int:
+        """Number of auditors J (capped at N - 1 so a worker remains)."""
+        j = required_committee_size(self.fault_fraction, self.failure_probability)
+        return min(j, max(len(self.node_ids) - 1, 1))
+
+    def soundness_failure_probability(self) -> float:
+        """Probability that every elected auditor is dishonest: ``mu**J``."""
+        return float(self.fault_fraction**self.committee_size)
+
+    def elect(self) -> Committee:
+        """Sample a worker and J distinct auditors uniformly at random.
+
+        The worker and the auditors are disjoint (an auditor auditing itself
+        would be pointless); the remaining nodes are commoners.
+        """
+        order = list(self.rng.permutation(self.node_ids))
+        worker = str(order[0])
+        auditors = [str(n) for n in order[1 : 1 + self.committee_size]]
+        commoners = [str(n) for n in order[1 + self.committee_size :]]
+        return Committee(worker=worker, auditors=auditors, commoners=commoners)
+
+    def elect_by_self_election(self) -> Committee:
+        """The local coin-toss variant: each node self-elects with prob J/N.
+
+        If nobody self-elects the committee falls back to one random auditor,
+        mirroring the "occasional re-run of the randomness beacon" discussion
+        in the paper.
+        """
+        order = list(self.rng.permutation(self.node_ids))
+        worker = str(order[0])
+        rate = self.committee_size / max(len(self.node_ids), 1)
+        auditors = [
+            str(node_id)
+            for node_id in order[1:]
+            if float(self.rng.random()) < rate
+        ]
+        if not auditors:
+            auditors = [str(order[1])] if len(order) > 1 else []
+        commoners = [str(n) for n in order[1:] if n not in auditors]
+        return Committee(worker=worker, auditors=auditors, commoners=commoners)

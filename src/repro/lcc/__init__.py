@@ -1,0 +1,28 @@
+"""Lagrange coded computing layer.
+
+This package implements the coding design of Section 5 of the paper:
+
+* :class:`~repro.lcc.scheme.LagrangeScheme` fixes the interpolation points
+  ``omega_1..omega_K`` (one per state machine) and evaluation points
+  ``alpha_1..alpha_N`` (one per node), and exposes the ``N x K`` coefficient
+  matrix ``C = [c_ik]`` of equation (7).
+* :class:`~repro.lcc.encoder.CodedStateEncoder` turns the ``K`` true
+  state/command vectors into the ``N`` coded vectors stored/processed by the
+  nodes — either row-by-row (what each node would do on its own) or through
+  interpolation followed by multi-point evaluation (the centralised worker
+  path of Section 6.2).
+* :class:`~repro.lcc.decoder.CodedResultDecoder` performs the noisy
+  interpolation of the coded computation results and evaluates the recovered
+  composite polynomial at the ``omega_k`` to produce all ``K`` true outputs.
+"""
+
+from repro.lcc.scheme import LagrangeScheme
+from repro.lcc.encoder import CodedStateEncoder
+from repro.lcc.decoder import CodedResultDecoder, DecodedRound
+
+__all__ = [
+    "LagrangeScheme",
+    "CodedStateEncoder",
+    "CodedResultDecoder",
+    "DecodedRound",
+]

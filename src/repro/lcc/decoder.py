@@ -1,0 +1,159 @@
+"""Decoding of coded computation results back into per-machine outputs.
+
+After the execution step every node has broadcast its coded result
+``g_i = f(S~_i, X~_i)``, a vector whose every component is the evaluation at
+``alpha_i`` of some polynomial of degree at most ``d(K - 1)``.  The decoder
+runs noisy interpolation (Reed–Solomon decoding) independently on each
+component, then evaluates the recovered polynomials at the ``omega_k`` to
+obtain ``(S_k(t+1), Y_k(t)) = f(S_k(t), X_k(t))`` for every machine ``k``.
+
+Both the synchronous case (all ``N`` results present, up to ``b`` wrong) and
+the partially synchronous case (``b`` results missing *and* up to ``b`` of the
+present ones wrong) are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecodingError, FieldError
+from repro.coding.berlekamp_welch import BerlekampWelchDecoder
+from repro.coding.erasure import ErasureDecoder
+from repro.coding.gao import GaoDecoder
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.gf.polynomial import Poly
+from repro.lcc.scheme import LagrangeScheme
+
+
+@dataclass
+class DecodedRound:
+    """Result of decoding one round of coded computations.
+
+    Attributes
+    ----------
+    outputs:
+        Array of shape ``(K, result_dim)``: row ``k`` is the true result
+        ``f(S_k, X_k)`` for machine ``k``.
+    polynomials:
+        The recovered composite polynomial for each result component.
+    error_nodes:
+        Node indices whose contributed results were found to be erroneous in
+        at least one component (the set the protocol may flag as suspects).
+    """
+
+    outputs: np.ndarray
+    polynomials: list[Poly]
+    error_nodes: tuple[int, ...]
+
+
+class CodedResultDecoder:
+    """Noisy-interpolation decoder bound to a :class:`LagrangeScheme`."""
+
+    def __init__(
+        self,
+        scheme: LagrangeScheme,
+        transition_degree: int,
+        decoder: str = "berlekamp-welch",
+    ) -> None:
+        if transition_degree < 1:
+            raise FieldError(
+                f"transition degree must be at least 1, got {transition_degree}"
+            )
+        if decoder not in ("berlekamp-welch", "gao"):
+            raise FieldError(f"unknown decoder '{decoder}'")
+        self.scheme = scheme
+        self.field = scheme.field
+        self.transition_degree = int(transition_degree)
+        self.decoder_kind = decoder
+        self.code = ReedSolomonCode(
+            scheme.field,
+            scheme.alphas,
+            scheme.decoding_dimension(transition_degree),
+        )
+        self._error_decoder = (
+            BerlekampWelchDecoder(self.code)
+            if decoder == "berlekamp-welch"
+            else GaoDecoder(self.code)
+        )
+        self._erasure_decoder = ErasureDecoder(self.code)
+
+    # -- public API -------------------------------------------------------------------
+    @property
+    def max_errors(self) -> int:
+        """Errors correctable when all results are present."""
+        return self.code.correction_radius
+
+    def decode(self, coded_results: np.ndarray) -> DecodedRound:
+        """Decode a full set of ``N`` coded results (synchronous setting).
+
+        ``coded_results`` has shape ``(N, result_dim)``; up to
+        ``max_errors`` rows may be arbitrary garbage.
+        """
+        results = self.field.array(coded_results)
+        if results.ndim == 1:
+            results = results.reshape(-1, 1)
+        if results.shape[0] != self.scheme.num_nodes:
+            raise DecodingError(
+                f"expected {self.scheme.num_nodes} coded results, got {results.shape[0]}"
+            )
+        polynomials: list[Poly] = []
+        error_nodes: set[int] = set()
+        outputs = np.zeros(
+            (self.scheme.num_machines, results.shape[1]), dtype=np.int64
+        )
+        for component in range(results.shape[1]):
+            decoded = self._error_decoder.decode(results[:, component])
+            polynomials.append(decoded.polynomial)
+            error_nodes.update(decoded.error_positions)
+            outputs[:, component] = decoded.polynomial.evaluate_many(self.scheme.omegas)
+        return DecodedRound(
+            outputs=outputs,
+            polynomials=polynomials,
+            error_nodes=tuple(sorted(error_nodes)),
+        )
+
+    def decode_partial(
+        self, coded_results: list[np.ndarray | None]
+    ) -> DecodedRound:
+        """Decode when some results are missing (partially synchronous setting).
+
+        ``coded_results`` is a length-``N`` list whose missing entries are
+        ``None``; present entries are result vectors.  Decoding succeeds as
+        long as ``2 * errors <= present - dimension`` for every component,
+        which matches the paper's ``3b + 1 <= N - d(K - 1)`` bound when
+        ``b`` nodes are silent and ``b`` present results are wrong.
+        """
+        if len(coded_results) != self.scheme.num_nodes:
+            raise DecodingError(
+                f"expected {self.scheme.num_nodes} result slots, got {len(coded_results)}"
+            )
+        present = [r for r in coded_results if r is not None]
+        if not present:
+            raise DecodingError("no coded results available to decode")
+        result_dim = self.field.array(present[0]).reshape(-1).shape[0]
+        polynomials: list[Poly] = []
+        error_nodes: set[int] = set()
+        outputs = np.zeros((self.scheme.num_machines, result_dim), dtype=np.int64)
+        for component in range(result_dim):
+            column: list[int | None] = []
+            for entry in coded_results:
+                if entry is None:
+                    column.append(None)
+                else:
+                    vec = self.field.array(entry).reshape(-1)
+                    if vec.shape[0] != result_dim:
+                        raise DecodingError(
+                            "all coded results must share the same dimension"
+                        )
+                    column.append(int(vec[component]))
+            decoded = self._erasure_decoder.decode_with_erasures(column)
+            polynomials.append(decoded.polynomial)
+            error_nodes.update(decoded.error_positions)
+            outputs[:, component] = decoded.polynomial.evaluate_many(self.scheme.omegas)
+        return DecodedRound(
+            outputs=outputs,
+            polynomials=polynomials,
+            error_nodes=tuple(sorted(error_nodes)),
+        )

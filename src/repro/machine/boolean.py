@@ -1,0 +1,166 @@
+"""Appendix A: running arbitrary Boolean state machines under CSM.
+
+The appendix gives two constructions:
+
+1. **Polynomial representation.**  Any Boolean function
+   ``f : {0,1}^n -> {0,1}`` can be written as the multivariate polynomial
+   ``p(x_1..x_n, y_1..y_n) = sum_{a in S_1} h_a`` over GF(2), where for each
+   input vector ``a`` with ``f(a) = 1`` the monomial ``h_a`` multiplies
+   ``x_i`` where ``a_i = 1`` and ``y_i = x_i + 1`` where ``a_i = 0``.
+   Substituting ``y_i = x_i + 1`` yields a polynomial of degree at most ``n``
+   in the original variables.
+
+2. **Field extension.**  GF(2) is too small to host ``N`` distinct evaluation
+   points, so each bit is embedded into ``GF(2**m)`` (``2**m >= N``) by
+   mapping ``0 -> 0...0`` and ``1 -> 0...01``; the polynomial's value is
+   invariant under the embedding, so coded execution over the extension field
+   recovers the correct Boolean outputs.
+
+:class:`BooleanTransitionCompiler` packages both steps: it takes a Python
+truth-table (or callable) for the next-state and output bits of a Boolean
+machine and produces a :class:`~repro.machine.polynomial_machine.PolynomialTransition`
+over ``GF(2**m)`` ready for CSM.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gf.extension_field import BinaryExtensionField
+from repro.gf.multivariate import MultivariatePolynomial
+from repro.machine.interface import StateMachine
+from repro.machine.polynomial_machine import PolynomialTransition
+
+BooleanFunction = Callable[[tuple[int, ...]], int]
+
+
+def boolean_function_to_polynomial(
+    field: BinaryExtensionField, num_inputs: int, function: BooleanFunction
+) -> MultivariatePolynomial:
+    """Compile ``f : {0,1}**num_inputs -> {0,1}`` into a polynomial over ``field``.
+
+    The construction follows Appendix A: for every input vector ``a`` with
+    ``f(a) = 1`` we add the monomial ``prod_i z_i`` where ``z_i = x_i`` if
+    ``a_i = 1`` and ``z_i = x_i + 1`` if ``a_i = 0``.  Over characteristic 2,
+    ``x_i + 1`` equals ``1 - x_i``, so the monomial is the indicator of input
+    ``a``; the sum is therefore the (unique, multilinear) polynomial agreeing
+    with ``f`` on the Boolean cube, with degree at most ``num_inputs``.
+    """
+    if num_inputs < 1:
+        raise ConfigurationError(f"need at least one input bit, got {num_inputs}")
+    if num_inputs > 16:
+        raise ConfigurationError(
+            f"truth-table compilation over {num_inputs} bits is unreasonably large"
+        )
+    result = MultivariatePolynomial.zero(field, num_inputs)
+    one = MultivariatePolynomial.constant(field, num_inputs, 1)
+    for assignment in product((0, 1), repeat=num_inputs):
+        if int(function(assignment)) % 2 != 1:
+            continue
+        monomial = MultivariatePolynomial.constant(field, num_inputs, 1)
+        for index, bit in enumerate(assignment):
+            variable = MultivariatePolynomial.variable(field, num_inputs, index)
+            factor = variable if bit == 1 else variable + one
+            monomial = monomial * factor
+        result = result + monomial
+    return result
+
+
+def embed_bits(field: BinaryExtensionField, bits: Sequence[int]) -> np.ndarray:
+    """Embed a vector of GF(2) bits into ``GF(2**m)`` (Appendix A, eq. (13))."""
+    return np.array([field.embed_bit(int(b)) for b in bits], dtype=np.int64)
+
+
+def project_bits(field: BinaryExtensionField, values: Sequence[int]) -> np.ndarray:
+    """Project embedded values back to bits; raises if a value is not 0 or 1."""
+    return np.array([field.project_bit(int(v)) for v in values], dtype=np.int64)
+
+
+class BooleanTransitionCompiler:
+    """Compile a Boolean state machine into a CSM-compatible polynomial machine.
+
+    Parameters
+    ----------
+    field:
+        The binary extension field to embed into; use
+        :meth:`BinaryExtensionField.for_network_size` to pick ``m`` from ``N``.
+    state_bits, command_bits:
+        Number of state and command bits.
+    next_state_functions:
+        One Boolean function per next-state bit; each receives the
+        concatenated ``(state_bits + command_bits)`` input tuple.
+    output_functions:
+        One Boolean function per output bit, same signature.
+    """
+
+    def __init__(
+        self,
+        field: BinaryExtensionField,
+        state_bits: int,
+        command_bits: int,
+        next_state_functions: Sequence[BooleanFunction],
+        output_functions: Sequence[BooleanFunction],
+    ) -> None:
+        if len(next_state_functions) != state_bits:
+            raise ConfigurationError(
+                f"expected {state_bits} next-state functions, got {len(next_state_functions)}"
+            )
+        if not output_functions:
+            raise ConfigurationError("need at least one output function")
+        self.field = field
+        self.state_bits = int(state_bits)
+        self.command_bits = int(command_bits)
+        self.next_state_functions = list(next_state_functions)
+        self.output_functions = list(output_functions)
+
+    @property
+    def num_inputs(self) -> int:
+        return self.state_bits + self.command_bits
+
+    def compile_transition(self) -> PolynomialTransition:
+        """Produce the polynomial transition over the extension field."""
+        next_state_polys = [
+            boolean_function_to_polynomial(self.field, self.num_inputs, fn)
+            for fn in self.next_state_functions
+        ]
+        output_polys = [
+            boolean_function_to_polynomial(self.field, self.num_inputs, fn)
+            for fn in self.output_functions
+        ]
+        return PolynomialTransition(
+            self.field,
+            state_dim=self.state_bits,
+            command_dim=self.command_bits,
+            next_state_polys=next_state_polys,
+            output_polys=output_polys,
+        )
+
+    def compile_machine(
+        self, initial_bits: Sequence[int], name: str = "boolean-machine"
+    ) -> StateMachine:
+        """Produce a full :class:`StateMachine` with an embedded initial state."""
+        if len(initial_bits) != self.state_bits:
+            raise ConfigurationError(
+                f"initial state has {len(initial_bits)} bits, expected {self.state_bits}"
+            )
+        transition = self.compile_transition()
+        return StateMachine(
+            field=self.field,
+            transition=transition,
+            initial_state=embed_bits(self.field, initial_bits),
+            name=name,
+        )
+
+    # -- reference execution over bits -----------------------------------------------
+    def reference_step(
+        self, state_bits: Sequence[int], command_bits: Sequence[int]
+    ) -> tuple[list[int], list[int]]:
+        """Evaluate the original Boolean functions directly (ground truth)."""
+        inputs = tuple(int(b) for b in state_bits) + tuple(int(b) for b in command_bits)
+        next_state = [int(fn(inputs)) % 2 for fn in self.next_state_functions]
+        outputs = [int(fn(inputs)) % 2 for fn in self.output_functions]
+        return next_state, outputs

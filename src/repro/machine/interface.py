@@ -1,0 +1,138 @@
+"""The deterministic state machine abstraction of Section 2.
+
+A state machine is a tuple ``(X, Y, S, f)`` of input alphabet, output
+alphabet, state space and deterministic transition function.  In this
+reproduction the alphabets and state space are vector spaces over a finite
+field, represented as fixed-length numpy vectors of canonical field elements,
+and ``f`` is a :class:`~repro.machine.polynomial_machine.PolynomialTransition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gf.field import Field
+
+#: Type aliases used throughout the protocol layers.
+MachineState = np.ndarray
+TransitionOutput = tuple[np.ndarray, np.ndarray]
+
+
+@runtime_checkable
+class Transition(Protocol):
+    """Anything that can act as the transition function ``f``."""
+
+    state_dim: int
+    command_dim: int
+    output_dim: int
+    degree: int
+
+    def step(self, state: np.ndarray, command: np.ndarray) -> TransitionOutput:
+        """Return ``(next_state, output)`` for one execution step."""
+        ...
+
+
+@dataclass
+class StateMachine:
+    """A deterministic state machine over a finite field.
+
+    Attributes
+    ----------
+    field:
+        The field over which states, commands and outputs live.
+    transition:
+        The transition function ``f`` (a polynomial transition for CSM).
+    initial_state:
+        The state ``S(0)`` the machine starts from.
+    name:
+        Optional human-readable label used by examples and reports.
+    """
+
+    field: Field
+    transition: Transition
+    initial_state: np.ndarray
+    name: str = "state-machine"
+
+    def __post_init__(self) -> None:
+        self.initial_state = self.field.array(self.initial_state).reshape(-1)
+        if self.initial_state.shape[0] != self.transition.state_dim:
+            raise ConfigurationError(
+                f"initial state has dimension {self.initial_state.shape[0]}, "
+                f"transition expects {self.transition.state_dim}"
+            )
+
+    # -- structural properties ------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return self.transition.state_dim
+
+    @property
+    def command_dim(self) -> int:
+        return self.transition.command_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self.transition.output_dim
+
+    @property
+    def degree(self) -> int:
+        """Total degree ``d`` of the transition polynomial."""
+        return self.transition.degree
+
+    # -- execution ---------------------------------------------------------------------
+    def step(self, state: np.ndarray, command: np.ndarray) -> TransitionOutput:
+        """One application of ``f``: returns ``(next_state, output)``."""
+        state_vec = self.field.array(state).reshape(-1)
+        command_vec = self.field.array(command).reshape(-1)
+        if state_vec.shape[0] != self.state_dim:
+            raise ConfigurationError(
+                f"state has dimension {state_vec.shape[0]}, expected {self.state_dim}"
+            )
+        if command_vec.shape[0] != self.command_dim:
+            raise ConfigurationError(
+                f"command has dimension {command_vec.shape[0]}, expected {self.command_dim}"
+            )
+        return self.transition.step(state_vec, command_vec)
+
+    def run(self, commands: np.ndarray, initial_state: np.ndarray | None = None):
+        """Execute a sequence of commands; returns ``(final_state, outputs)``.
+
+        ``commands`` has shape ``(T, command_dim)``; the returned outputs have
+        shape ``(T, output_dim)``.  This reference (uncoded, single-machine)
+        execution is what every protocol's result is checked against.
+        """
+        state = (
+            self.initial_state.copy()
+            if initial_state is None
+            else self.field.array(initial_state).reshape(-1)
+        )
+        commands_arr = self.field.array(commands)
+        if commands_arr.ndim == 1:
+            commands_arr = commands_arr.reshape(1, -1)
+        outputs = np.zeros((commands_arr.shape[0], self.output_dim), dtype=np.int64)
+        for t in range(commands_arr.shape[0]):
+            state, output = self.step(state, commands_arr[t])
+            outputs[t, :] = output
+        return state, outputs
+
+    def replicate(self, count: int) -> list["StateMachine"]:
+        """Return ``count`` machines sharing this transition and initial state.
+
+        CSM operates ``K`` *identical* machines (same ``f``) with independent
+        states; this helper builds such a bank of machines.
+        """
+        if count < 1:
+            raise ConfigurationError(f"replicate count must be positive, got {count}")
+        return [
+            StateMachine(
+                field=self.field,
+                transition=self.transition,
+                initial_state=self.initial_state.copy(),
+                name=f"{self.name}[{k}]",
+            )
+            for k in range(count)
+        ]

@@ -1,0 +1,145 @@
+"""Byzantine behaviour library.
+
+A Byzantine node can deviate arbitrarily from the protocol; the paper's
+analysis is driven by a handful of canonical deviations, each of which is
+modelled here as a strategy object the protocol layers consult whenever a
+faulty node is about to act:
+
+* :class:`CorruptResultBehavior` — report a wrong (but well-formed) value;
+  this is the deviation the Reed–Solomon decoding must correct.
+* :class:`SilentBehavior` — send nothing; in the partially synchronous
+  setting this is indistinguishable from a slow honest node and forces the
+  ``N - b`` decoding rule.
+* :class:`EquivocatingBehavior` — send *different* wrong values to different
+  recipients; the paper notes the reconstructed polynomials at honest nodes
+  remain identical despite equivocation.
+* :class:`DelayingBehavior` — send the correct value but too late to be
+  counted in the round.
+* :class:`RandomGarbageBehavior` — uniformly random values each time,
+  the worst case for any detection heuristic.
+
+Honest nodes use :class:`HonestBehavior`, which returns values unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.gf.field import Field
+
+
+class ByzantineBehavior(ABC):
+    """Strategy deciding what a (possibly faulty) node actually reports."""
+
+    #: Whether the protocol should treat this node as faulty when counting b.
+    is_faulty: bool = True
+
+    @abstractmethod
+    def transform_result(
+        self,
+        field: Field,
+        node_id: str,
+        true_value: np.ndarray,
+        rng: np.random.Generator,
+        recipient: str | None = None,
+    ) -> np.ndarray | None:
+        """Return the value the node reports (``None`` means "stay silent")."""
+
+    def delays_message(self) -> bool:
+        """Whether the node's messages should arrive after the round timeout."""
+        return False
+
+    def corrupts_consensus_vote(self) -> bool:
+        """Whether the node votes incorrectly / withholds votes in consensus."""
+        return self.is_faulty
+
+
+class HonestBehavior(ByzantineBehavior):
+    """Follows the protocol exactly."""
+
+    is_faulty = False
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        return np.array(true_value, dtype=np.int64, copy=True)
+
+    def corrupts_consensus_vote(self) -> bool:
+        return False
+
+
+class CorruptResultBehavior(ByzantineBehavior):
+    """Adds a fixed non-zero offset to every reported component."""
+
+    def __init__(self, offset: int = 1) -> None:
+        if int(offset) == 0:
+            raise ValueError("corruption offset must be non-zero")
+        self.offset = int(offset)
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        value = field.array(true_value)
+        return field.add(value, np.full_like(value, field.element(self.offset)))
+
+
+class RandomGarbageBehavior(ByzantineBehavior):
+    """Reports uniformly random field elements."""
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        value = field.array(true_value)
+        return field.random_array(rng, value.shape)
+
+
+class SilentBehavior(ByzantineBehavior):
+    """Never sends its execution-phase messages."""
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        return None
+
+
+class EquivocatingBehavior(ByzantineBehavior):
+    """Sends a different corrupted value to every recipient.
+
+    The corruption is a deterministic function of the recipient so tests can
+    assert that two honest receivers really did observe conflicting values,
+    yet both still decode the same correct polynomial (Section 5.2).
+    """
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        value = field.array(true_value)
+        salt = abs(hash((node_id, recipient))) % (field.order - 1) + 1
+        return field.add(value, np.full_like(value, field.element(salt)))
+
+
+class DelayingBehavior(ByzantineBehavior):
+    """Sends correct values, but after the round deadline.
+
+    In the synchronous model a delayed message is equivalent to silence for
+    the round; in the partially synchronous model before GST it is
+    indistinguishable from an honest slow node.
+    """
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        return np.array(true_value, dtype=np.int64, copy=True)
+
+    def delays_message(self) -> bool:
+        return True
+
+
+_BEHAVIOR_FACTORIES = {
+    "honest": HonestBehavior,
+    "corrupt": CorruptResultBehavior,
+    "garbage": RandomGarbageBehavior,
+    "silent": SilentBehavior,
+    "equivocate": EquivocatingBehavior,
+    "delay": DelayingBehavior,
+}
+
+
+def behavior_from_name(name: str) -> ByzantineBehavior:
+    """Instantiate a behaviour by its short name (used in experiment configs)."""
+    try:
+        return _BEHAVIOR_FACTORIES[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown behaviour '{name}'; choose from {sorted(_BEHAVIOR_FACTORIES)}"
+        ) from exc

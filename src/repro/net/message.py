@@ -1,0 +1,108 @@
+"""Messages exchanged between nodes and clients.
+
+All inter-node communication in the protocols is carried by
+:class:`Message` objects.  A message is signed by its sender (see
+:mod:`repro.net.signatures`); the "authenticated Byzantine fault" model of
+the paper means a faulty node can say anything *in its own name* but cannot
+forge another node's signature without detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class MessageKind(str, Enum):
+    """Tags identifying the protocol phase a message belongs to."""
+
+    # Client traffic
+    CLIENT_COMMAND = "client-command"
+    CLIENT_RESPONSE = "client-response"
+    # Consensus phase
+    CONSENSUS_PROPOSAL = "consensus-proposal"
+    CONSENSUS_VOTE = "consensus-vote"
+    CONSENSUS_PREPARE = "consensus-prepare"
+    CONSENSUS_COMMIT = "consensus-commit"
+    # Execution phase
+    CODED_RESULT = "coded-result"
+    REPLICA_RESULT = "replica-result"
+    # INTERMIX / delegation
+    WORKER_RESULT = "worker-result"
+    AUDIT_QUERY = "audit-query"
+    AUDIT_RESPONSE = "audit-response"
+    AUDIT_VERDICT = "audit-verdict"
+
+
+@dataclass
+class Message:
+    """A single signed message.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the sending node (or ``client:<id>`` for clients).
+    recipient:
+        Identifier of the receiving node, or ``"*"`` for broadcast.
+    kind:
+        Protocol phase tag.
+    round_index:
+        The state machine round the message belongs to.
+    payload:
+        Arbitrary JSON-like content (numpy arrays are allowed; they are
+        normalised to tuples when the signature digest is computed).
+    signature:
+        Filled in by :class:`~repro.net.signatures.KeyRegistry.sign`.
+    """
+
+    sender: str
+    recipient: str
+    kind: MessageKind
+    round_index: int
+    payload: Any
+    signature: str | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def signing_view(self) -> tuple:
+        """The canonical tuple covered by the signature.
+
+        The recipient is deliberately *excluded* so that a broadcast message
+        carries one signature valid for every copy; equivocation (sending
+        different payloads to different recipients) therefore produces two
+        validly-signed but conflicting messages — which is exactly what the
+        protocols must tolerate or detect, as in the paper.
+        """
+        return (
+            self.sender,
+            self.kind.value,
+            int(self.round_index),
+            _normalise(self.payload),
+        )
+
+    def with_recipient(self, recipient: str) -> "Message":
+        """Copy of this message addressed to a specific recipient."""
+        return Message(
+            sender=self.sender,
+            recipient=recipient,
+            kind=self.kind,
+            round_index=self.round_index,
+            payload=self.payload,
+            signature=self.signature,
+            metadata=dict(self.metadata),
+        )
+
+
+def _normalise(value: Any) -> Any:
+    """Convert payloads into hashable, deterministic structures for signing."""
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, tuple(int(v) for v in value.reshape(-1)))
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _normalise(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalise(v) for v in value)
+    if isinstance(value, (int, str, bool, float)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,209 @@
+"""The simulated fully-connected network.
+
+The network owns the event scheduler, the delay model and the key registry.
+Protocol layers interact with it through three operations:
+
+* :meth:`SimulatedNetwork.send` — sign and dispatch a message to one node;
+* :meth:`SimulatedNetwork.broadcast` — dispatch one copy to every node
+  (a Byzantine sender that wants to equivocate simply calls ``send`` with
+  different payloads instead);
+* :meth:`SimulatedNetwork.collect` — advance simulated time by a timeout and
+  return the (signature-verified) messages a node received in that window.
+
+Messages whose signatures do not verify are dropped and counted, modelling
+the "impersonation is easily detectable" clause of the fault model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.net.latency import DelayModel, SynchronousDelay
+from repro.net.message import Message, MessageKind
+from repro.net.signatures import KeyRegistry
+from repro.net.simulator import EventScheduler
+
+
+@dataclass
+class DeliveryRecord:
+    """Book-keeping entry for one attempted message delivery."""
+
+    message: Message
+    send_time: float
+    delivery_time: float
+    delivered: bool = True
+
+
+@dataclass
+class _Mailbox:
+    """Per-node queue of delivered messages awaiting collection."""
+
+    messages: list[tuple[float, Message]] = field(default_factory=list)
+
+    def push(self, time: float, message: Message) -> None:
+        self.messages.append((time, message))
+
+    def drain(
+        self,
+        kind: MessageKind | None,
+        round_index: int | None,
+        up_to_time: float,
+    ) -> list[Message]:
+        kept: list[tuple[float, Message]] = []
+        out: list[Message] = []
+        for time, message in self.messages:
+            matches = time <= up_to_time
+            if kind is not None and message.kind != kind:
+                matches = False
+            if round_index is not None and message.round_index != round_index:
+                matches = False
+            if matches:
+                out.append(message)
+            else:
+                kept.append((time, message))
+        self.messages = kept
+        return out
+
+
+class SimulatedNetwork:
+    """Fully connected message-passing network with signed messages."""
+
+    def __init__(
+        self,
+        delay_model: DelayModel | None = None,
+        rng: np.random.Generator | None = None,
+        key_registry: KeyRegistry | None = None,
+    ) -> None:
+        self.delay_model = delay_model or SynchronousDelay()
+        self.rng = rng or np.random.default_rng(0)
+        self.keys = key_registry or KeyRegistry()
+        self.scheduler = EventScheduler()
+        self._mailboxes: dict[str, _Mailbox] = {}
+        self.delivery_log: list[DeliveryRecord] = []
+        self.rejected_signatures = 0
+        self.messages_sent = 0
+
+    # -- membership -------------------------------------------------------------
+    def register(self, node_id: str) -> None:
+        """Register a node (or client) identity and issue its signing key."""
+        node_id = str(node_id)
+        if node_id not in self._mailboxes:
+            self._mailboxes[node_id] = _Mailbox()
+        self.keys.register(node_id)
+
+    @property
+    def participants(self) -> list[str]:
+        return sorted(self._mailboxes)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, message: Message, sign: bool = True) -> DeliveryRecord:
+        """Sign (unless pre-signed) and dispatch a message to its recipient."""
+        if message.recipient not in self._mailboxes:
+            raise KeyError(f"unknown recipient '{message.recipient}'")
+        if sign or message.signature is None:
+            self.keys.sign(message)
+        send_time = self.scheduler.now
+        delay = self.delay_model.sample_delay(send_time, self.rng)
+        delivery_time = send_time + delay
+        record = DeliveryRecord(message, send_time, delivery_time)
+        self.delivery_log.append(record)
+        self.messages_sent += 1
+
+        def deliver() -> None:
+            if not self.keys.verify(message):
+                self.rejected_signatures += 1
+                record.delivered = False
+                return
+            self._mailboxes[message.recipient].push(delivery_time, message)
+
+        self.scheduler.schedule_at(delivery_time, deliver, label=message.kind.value)
+        return record
+
+    def broadcast(
+        self, message: Message, recipients: Iterable[str] | None = None, sign: bool = True
+    ) -> list[DeliveryRecord]:
+        """Send a copy of the message to every registered participant.
+
+        A single signature covers all copies (the recipient is not part of
+        the signed view), so this models a true broadcast.  Byzantine
+        equivocation is modelled by *not* using this helper and calling
+        :meth:`send` with different payloads per recipient instead.
+        """
+        if sign or message.signature is None:
+            self.keys.sign(message)
+        targets = list(recipients) if recipients is not None else self.participants
+        records = []
+        for recipient in targets:
+            if recipient == message.sender:
+                # A node "delivers" its own broadcast immediately; model that
+                # as a zero-delay send so it also lands in its mailbox.
+                copy = message.with_recipient(recipient)
+                self._mailboxes[recipient].push(self.scheduler.now, copy)
+                records.append(
+                    DeliveryRecord(copy, self.scheduler.now, self.scheduler.now)
+                )
+                continue
+            records.append(self.send(message.with_recipient(recipient), sign=False))
+        return records
+
+    # -- receiving -----------------------------------------------------------------
+    def collect(
+        self,
+        recipient: str,
+        kind: MessageKind | None = None,
+        round_index: int | None = None,
+        timeout: float | None = None,
+    ) -> list[Message]:
+        """Advance time by ``timeout`` and return matching delivered messages.
+
+        With ``timeout=None`` the synchronous bound of the delay model is
+        used — the standard "wait one maximum delay" round structure.
+        """
+        if recipient not in self._mailboxes:
+            raise KeyError(f"unknown recipient '{recipient}'")
+        window = self.delay_model.synchronous_bound if timeout is None else float(timeout)
+        deadline = self.scheduler.now + window
+        self.scheduler.run_until(deadline)
+        return self._mailboxes[recipient].drain(kind, round_index, deadline)
+
+    def collect_all(
+        self,
+        recipients: Iterable[str],
+        kind: MessageKind | None = None,
+        round_index: int | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, list[Message]]:
+        """Collect for many recipients over a single shared timeout window."""
+        recipients = list(recipients)
+        window = self.delay_model.synchronous_bound if timeout is None else float(timeout)
+        deadline = self.scheduler.now + window
+        self.scheduler.run_until(deadline)
+        out: dict[str, list[Message]] = {}
+        for recipient in recipients:
+            if recipient not in self._mailboxes:
+                raise KeyError(f"unknown recipient '{recipient}'")
+            out[recipient] = self._mailboxes[recipient].drain(kind, round_index, deadline)
+        return out
+
+    def flush(self) -> None:
+        """Deliver every in-flight message (used between experiments)."""
+        self.scheduler.run_until_idle()
+
+    # -- statistics ------------------------------------------------------------------
+    def delivered_within(self, deadline: float) -> int:
+        return sum(1 for r in self.delivery_log if r.delivered and r.delivery_time <= deadline)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "messages_sent": self.messages_sent,
+            "rejected_signatures": self.rejected_signatures,
+            "simulated_time": self.scheduler.now,
+            "processed_events": self.scheduler.processed_events,
+        }

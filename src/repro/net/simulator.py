@@ -1,0 +1,91 @@
+"""A minimal discrete-event scheduler.
+
+The protocol layers are round-structured, but message delivery times still
+matter: in the partially synchronous model a message can arrive after the
+receiver's timeout, and the experiments measure how many honest contributions
+arrive in time.  The :class:`EventScheduler` keeps a priority queue of timed
+events and advances simulated time monotonically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventScheduler:
+    """Priority-queue driven simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self.processed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], Any], label: str = "") -> None:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = _Event(self._now + float(delay), next(self._counter), action, label)
+        heapq.heappush(self._queue, event)
+
+    def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> None:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        event = _Event(float(time), next(self._counter), action, label)
+        heapq.heappush(self._queue, event)
+
+    def run_until(self, deadline: float) -> int:
+        """Process events up to and including ``deadline``; returns the count."""
+        processed = 0
+        while self._queue and self._queue[0].time <= deadline:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            processed += 1
+            self.processed_events += 1
+        self._now = max(self._now, float(deadline))
+        return processed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Process every pending event (new ones included) up to a safety cap."""
+        processed = 0
+        while self._queue:
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"event cap of {max_events} exceeded; likely a scheduling loop"
+                )
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            processed += 1
+            self.processed_events += 1
+        return processed
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without processing events (idle waiting)."""
+        if time < self._now:
+            raise ValueError(f"cannot move time backwards to {time} from {self._now}")
+        self._now = float(time)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

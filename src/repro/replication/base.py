@@ -1,0 +1,67 @@
+"""Shared round-result record and helpers for the execution engines.
+
+Every execution scheme (full replication, partial replication, CSM) produces
+the same kind of per-round record so the experiments can compare them
+uniformly: the outputs delivered to clients, the updated true states, whether
+every client obtained the correct output, and the per-node field-operation
+counts from which throughput is computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoundResult:
+    """Outcome of executing one round under some scheme.
+
+    Attributes
+    ----------
+    round_index:
+        Round number.
+    outputs:
+        Array of shape ``(K, output_dim)`` with the outputs accepted by the
+        clients (reference-correct outputs when ``correct`` is True).
+    states:
+        Array of shape ``(K, state_dim)`` with the true next states as
+        recovered by the scheme (for CSM, the decoded states).
+    correct:
+        True when every client accepted exactly the reference output and
+        every honest node's recovered state matches the reference execution.
+    ops_per_node:
+        Mapping from node id to the number of field operations that node
+        performed in the execution phase (the ``c(rho) + c(psi) + c(chi)`` of
+        the throughput definition).
+    diagnostics:
+        Free-form per-scheme details (decoded error positions, consensus
+        view numbers, delegation audit outcomes, ...).
+    """
+
+    round_index: int
+    outputs: np.ndarray
+    states: np.ndarray
+    correct: bool
+    ops_per_node: dict[str, int] = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return int(sum(self.ops_per_node.values()))
+
+    @property
+    def mean_ops_per_node(self) -> float:
+        if not self.ops_per_node:
+            return 0.0
+        return self.total_ops / len(self.ops_per_node)
+
+    def throughput(self, num_machines: int) -> float:
+        """Commands processed per unit per-node operation (the paper's lambda).
+
+        ``lambda = K / (sum_i ops_i / N)``; larger is better.
+        """
+        if self.mean_ops_per_node == 0:
+            return float("inf")
+        return num_machines / self.mean_ops_per_node

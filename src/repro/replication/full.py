@@ -1,0 +1,158 @@
+"""Full replication: every node stores and executes every state machine.
+
+Per round, every honest node executes the agreed command of all ``K``
+machines on its local replica of all ``K`` states and sends each output to
+the submitting client; a client accepts a value once ``b + 1`` matching
+responses arrive.  Security is therefore ``floor((N - 1) / 2)`` in a
+synchronous network (``floor((N - 1) / 3)`` with PBFT in the partially
+synchronous one), storage efficiency is 1 (each node stores all ``K`` states
+in a memory of ``K`` state-sizes, normalised per state-size of storage), and
+per-node work grows with ``K`` so throughput does not scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SecurityViolation
+from repro.gf.field import OperationCounter
+from repro.machine.interface import StateMachine
+from repro.net.byzantine import ByzantineBehavior, HonestBehavior
+from repro.replication.base import RoundResult
+from repro.replication.client import OutputCollector
+
+
+class FullReplicationSMR:
+    """Full-replication execution engine.
+
+    Parameters
+    ----------
+    machine:
+        The template state machine (all ``K`` machines share its transition).
+    num_machines:
+        ``K``.
+    node_ids:
+        The ``N`` node identifiers.
+    behaviors:
+        Mapping from node id to Byzantine behaviour (missing = honest).
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        num_machines: int,
+        node_ids: list[str],
+        behaviors: dict[str, ByzantineBehavior] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_machines < 1:
+            raise ConfigurationError(f"need at least one machine, got {num_machines}")
+        if not node_ids:
+            raise ConfigurationError("need at least one node")
+        self.machine = machine
+        self.field = machine.field
+        self.num_machines = int(num_machines)
+        self.node_ids = list(node_ids)
+        self.behaviors = dict(behaviors or {})
+        self.rng = rng or np.random.default_rng(0)
+        # Reference (true) states, and each node's replica of all K states.
+        self.states = np.tile(machine.initial_state, (num_machines, 1))
+        self.replicas: dict[str, np.ndarray] = {
+            node_id: self.states.copy() for node_id in self.node_ids
+        }
+        self.round_index = 0
+
+    # -- structural metrics --------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_faulty(self) -> int:
+        return sum(1 for n in self.node_ids if self.behavior_of(n).is_faulty)
+
+    @property
+    def storage_efficiency(self) -> float:
+        """K states' worth of data stored per node of K-state capacity: always 1."""
+        return 1.0
+
+    def security_bound(self, partially_synchronous: bool = False) -> int:
+        if partially_synchronous:
+            return (self.num_nodes - 1) // 3
+        return (self.num_nodes - 1) // 2
+
+    def behavior_of(self, node_id: str) -> ByzantineBehavior:
+        return self.behaviors.get(node_id, HonestBehavior())
+
+    # -- execution -------------------------------------------------------------------------
+    def execute_round(self, commands: np.ndarray) -> RoundResult:
+        """Execute one agreed command per machine at every node."""
+        commands_arr = self.field.array(commands)
+        if commands_arr.shape != (self.num_machines, self.machine.command_dim):
+            raise ConfigurationError(
+                f"expected commands of shape {(self.num_machines, self.machine.command_dim)}, "
+                f"got {commands_arr.shape}"
+            )
+        # Reference execution (ground truth used for verification only).
+        reference_states = np.zeros_like(self.states)
+        reference_outputs = np.zeros(
+            (self.num_machines, self.machine.output_dim), dtype=np.int64
+        )
+        for k in range(self.num_machines):
+            next_state, output = self.machine.step(self.states[k], commands_arr[k])
+            reference_states[k] = next_state
+            reference_outputs[k] = output
+
+        ops_per_node: dict[str, int] = {}
+        collectors = [
+            OutputCollector(machine_index=k, round_index=self.round_index)
+            for k in range(self.num_machines)
+        ]
+        for node_id in self.node_ids:
+            behavior = self.behavior_of(node_id)
+            counter = OperationCounter()
+            self.field.attach_counter(counter)
+            try:
+                replica = self.replicas[node_id]
+                for k in range(self.num_machines):
+                    next_state, output = self.machine.step(replica[k], commands_arr[k])
+                    if not behavior.is_faulty:
+                        replica[k] = next_state
+                        collectors[k].add_response(node_id, output)
+                    else:
+                        reported = behavior.transform_result(
+                            self.field, node_id, output, self.rng
+                        )
+                        if reported is not None and not behavior.delays_message():
+                            collectors[k].add_response(node_id, reported)
+            finally:
+                self.field.attach_counter(None)
+            ops_per_node[node_id] = counter.total
+
+        # Client acceptance: b + 1 matching responses.
+        threshold = self.num_faulty + 1
+        correct = True
+        accepted_outputs = np.zeros_like(reference_outputs)
+        for k in range(self.num_machines):
+            try:
+                ok = collectors[k].verify_against(reference_outputs[k], threshold)
+            except SecurityViolation:
+                ok = False
+            if not ok:
+                correct = False
+                accepted = collectors[k].accept_with_threshold(threshold)
+                if accepted is not None:
+                    accepted_outputs[k] = np.array(accepted, dtype=np.int64)
+            else:
+                accepted_outputs[k] = reference_outputs[k]
+
+        self.states = reference_states
+        self.round_index += 1
+        return RoundResult(
+            round_index=self.round_index - 1,
+            outputs=accepted_outputs,
+            states=reference_states.copy(),
+            correct=correct,
+            ops_per_node=ops_per_node,
+            diagnostics={"threshold": threshold, "num_faulty": self.num_faulty},
+        )

@@ -1,0 +1,166 @@
+"""Partial (sharded) replication: disjoint node groups, one machine each.
+
+The ``N`` nodes are partitioned into ``K`` groups of ``q = N / K`` nodes;
+group ``k`` stores and executes only machine ``k``.  Storage efficiency and
+throughput improve by a factor of ``K`` over full replication, but the
+adversary only needs to corrupt a majority of a *single group* — ``q/2``
+nodes — to break that machine, which is the security collapse the paper's
+Table 1 records (``beta_partial = N / (2K)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SecurityViolation
+from repro.gf.field import OperationCounter
+from repro.machine.interface import StateMachine
+from repro.net.byzantine import ByzantineBehavior, HonestBehavior
+from repro.replication.base import RoundResult
+from repro.replication.client import OutputCollector
+
+
+class PartialReplicationSMR:
+    """Partial-replication execution engine."""
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        num_machines: int,
+        node_ids: list[str],
+        behaviors: dict[str, ByzantineBehavior] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_machines < 1:
+            raise ConfigurationError(f"need at least one machine, got {num_machines}")
+        if len(node_ids) % num_machines != 0:
+            raise ConfigurationError(
+                f"partial replication needs K | N; got N={len(node_ids)}, K={num_machines}"
+            )
+        self.machine = machine
+        self.field = machine.field
+        self.num_machines = int(num_machines)
+        self.node_ids = list(node_ids)
+        self.behaviors = dict(behaviors or {})
+        self.rng = rng or np.random.default_rng(0)
+        self.group_size = len(node_ids) // num_machines
+        # groups[k] is the list of node ids replicating machine k.
+        self.groups: list[list[str]] = [
+            self.node_ids[k * self.group_size : (k + 1) * self.group_size]
+            for k in range(num_machines)
+        ]
+        self.states = np.tile(machine.initial_state, (num_machines, 1))
+        self.replicas: dict[str, np.ndarray] = {}
+        for k, group in enumerate(self.groups):
+            for node_id in group:
+                self.replicas[node_id] = machine.initial_state.copy()
+        self.round_index = 0
+
+    # -- structural metrics ----------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Each node stores one state, the network stores K distinct machines."""
+        return float(self.num_machines)
+
+    def security_bound(self, partially_synchronous: bool = False) -> int:
+        """Faults tolerated if concentrated on one group: majority of ``q``."""
+        if partially_synchronous:
+            return (self.group_size - 1) // 3
+        return (self.group_size - 1) // 2
+
+    def group_of(self, node_id: str) -> int:
+        for k, group in enumerate(self.groups):
+            if node_id in group:
+                return k
+        raise ConfigurationError(f"node {node_id} is not in any group")
+
+    def behavior_of(self, node_id: str) -> ByzantineBehavior:
+        return self.behaviors.get(node_id, HonestBehavior())
+
+    def faulty_in_group(self, k: int) -> int:
+        return sum(1 for n in self.groups[k] if self.behavior_of(n).is_faulty)
+
+    # -- execution ------------------------------------------------------------------------------
+    def execute_round(self, commands: np.ndarray) -> RoundResult:
+        commands_arr = self.field.array(commands)
+        if commands_arr.shape != (self.num_machines, self.machine.command_dim):
+            raise ConfigurationError(
+                f"expected commands of shape {(self.num_machines, self.machine.command_dim)}, "
+                f"got {commands_arr.shape}"
+            )
+        reference_states = np.zeros_like(self.states)
+        reference_outputs = np.zeros(
+            (self.num_machines, self.machine.output_dim), dtype=np.int64
+        )
+        for k in range(self.num_machines):
+            next_state, output = self.machine.step(self.states[k], commands_arr[k])
+            reference_states[k] = next_state
+            reference_outputs[k] = output
+
+        ops_per_node: dict[str, int] = {}
+        correct = True
+        accepted_outputs = np.zeros_like(reference_outputs)
+        group_details = []
+        for k, group in enumerate(self.groups):
+            collector = OutputCollector(machine_index=k, round_index=self.round_index)
+            for node_id in group:
+                behavior = self.behavior_of(node_id)
+                counter = OperationCounter()
+                self.field.attach_counter(counter)
+                try:
+                    next_state, output = self.machine.step(
+                        self.replicas[node_id], commands_arr[k]
+                    )
+                    if not behavior.is_faulty:
+                        self.replicas[node_id] = next_state
+                        collector.add_response(node_id, output)
+                    else:
+                        reported = behavior.transform_result(
+                            self.field, node_id, output, self.rng
+                        )
+                        if reported is not None and not behavior.delays_message():
+                            collector.add_response(node_id, reported)
+                finally:
+                    self.field.attach_counter(None)
+                ops_per_node[node_id] = counter.total
+            # The client of machine k only hears from group k; it needs a
+            # majority of the group to agree (equivalently b_k + 1 matching
+            # where b_k is the number of faults in the group, which the client
+            # cannot know — so the standard rule is group-majority).
+            threshold = self.group_size // 2 + 1
+            try:
+                accepted = collector.accept_with_threshold(threshold)
+                ok = accepted is not None and accepted == tuple(
+                    int(v) for v in reference_outputs[k]
+                )
+                if accepted is not None and not ok:
+                    raise SecurityViolation(
+                        f"machine {k}: client accepted an incorrect output"
+                    )
+            except SecurityViolation:
+                ok = False
+                accepted = collector.accept_with_threshold(threshold)
+            if ok:
+                accepted_outputs[k] = reference_outputs[k]
+            else:
+                correct = False
+                if accepted is not None:
+                    accepted_outputs[k] = np.array(accepted, dtype=np.int64)
+            group_details.append(
+                {"group": k, "faulty": self.faulty_in_group(k), "accepted_correct": ok}
+            )
+
+        self.states = reference_states
+        self.round_index += 1
+        return RoundResult(
+            round_index=self.round_index - 1,
+            outputs=accepted_outputs,
+            states=reference_states.copy(),
+            correct=correct,
+            ops_per_node=ops_per_node,
+            diagnostics={"groups": group_details, "group_size": self.group_size},
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the CSM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf.prime_field import PrimeField
+from repro.gf.extension_field import BinaryExtensionField
+
+
+@pytest.fixture
+def small_field() -> PrimeField:
+    """A small prime field (GF(97)) convenient for exhaustive checks."""
+    return PrimeField(97)
+
+
+@pytest.fixture
+def big_field() -> PrimeField:
+    """The default production field GF(2**31 - 1)."""
+    return PrimeField()
+
+
+@pytest.fixture
+def gf256() -> BinaryExtensionField:
+    """GF(2**8), the extension field used by most Appendix A tests."""
+    return BinaryExtensionField(8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

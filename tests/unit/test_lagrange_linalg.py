@@ -1,0 +1,207 @@
+"""Unit tests for Lagrange interpolation, finite-field linear algebra,
+Vandermonde helpers and subproduct-tree fast evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FieldError
+from repro.gf.fast_eval import SubproductTree, multi_point_evaluate
+from repro.gf.lagrange import (
+    barycentric_evaluate,
+    barycentric_weights,
+    lagrange_basis_row,
+    lagrange_coefficient_matrix,
+    lagrange_interpolate,
+)
+from repro.gf.linalg import (
+    gf_inverse_matrix,
+    gf_matmul,
+    gf_matvec,
+    gf_nullspace_vector,
+    gf_rank,
+    gf_solve,
+)
+from repro.gf.polynomial import Poly
+from repro.gf.vandermonde import (
+    vandermonde_apply,
+    vandermonde_matrix,
+    vandermonde_residual,
+    vandermonde_solve,
+)
+
+
+class TestLagrange:
+    def test_interpolation_recovers_polynomial(self, small_field, rng):
+        poly = Poly.random(small_field, 5, rng)
+        xs = small_field.distinct_points(6)
+        ys = [poly.evaluate(x) for x in xs]
+        assert lagrange_interpolate(small_field, xs, ys) == poly
+
+    def test_interpolation_through_given_points(self, small_field):
+        xs, ys = [1, 2, 3], [10, 20, 40]
+        poly = lagrange_interpolate(small_field, xs, ys)
+        assert [poly.evaluate(x) for x in xs] == ys
+
+    def test_duplicate_points_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            lagrange_interpolate(small_field, [1, 1], [2, 3])
+
+    def test_basis_row_is_partition_of_unity_at_omega(self, small_field):
+        omegas = [1, 2, 3, 4]
+        row = lagrange_basis_row(small_field, omegas, 2)
+        # Evaluating at an interpolation point gives the indicator row.
+        assert list(row) == [0, 1, 0, 0]
+
+    def test_coefficient_matrix_encodes_interpolant(self, small_field, rng):
+        omegas = [1, 2, 3]
+        alphas = [10, 11, 12, 13, 14]
+        matrix = lagrange_coefficient_matrix(small_field, omegas, alphas)
+        values = [5, 9, 21]
+        poly = lagrange_interpolate(small_field, omegas, values)
+        encoded = gf_matvec(small_field, matrix, np.array(values))
+        assert list(encoded) == [poly.evaluate(a) for a in alphas]
+
+    def test_barycentric_matches_lagrange(self, small_field, rng):
+        xs = small_field.distinct_points(5)
+        ys = [int(v) for v in rng.integers(0, 97, size=5)]
+        weights = barycentric_weights(small_field, xs)
+        poly = lagrange_interpolate(small_field, xs, ys)
+        for point in range(20, 30):
+            assert barycentric_evaluate(small_field, xs, ys, weights, point) == poly.evaluate(point)
+
+    def test_barycentric_at_interpolation_point_returns_value(self, small_field):
+        xs, ys = [1, 2, 3], [7, 8, 9]
+        weights = barycentric_weights(small_field, xs)
+        assert barycentric_evaluate(small_field, xs, ys, weights, 2) == 8
+
+
+class TestLinalg:
+    def test_matvec_matches_numpy_mod_p(self, small_field, rng):
+        matrix = rng.integers(0, 97, size=(4, 6))
+        vector = rng.integers(0, 97, size=6)
+        expected = (matrix @ vector) % 97
+        assert list(gf_matvec(small_field, matrix, vector)) == list(expected)
+
+    def test_matmul_matches_numpy_mod_p(self, small_field, rng):
+        a = rng.integers(0, 97, size=(3, 4))
+        b = rng.integers(0, 97, size=(4, 5))
+        expected = (a @ b) % 97
+        assert gf_matmul(small_field, a, b).tolist() == expected.tolist()
+
+    def test_solve_unique_system(self, small_field, rng):
+        matrix = rng.integers(0, 97, size=(5, 5))
+        while gf_rank(small_field, matrix) < 5:
+            matrix = rng.integers(0, 97, size=(5, 5))
+        x = rng.integers(0, 97, size=5)
+        rhs = gf_matvec(small_field, matrix, x)
+        solution = gf_solve(small_field, matrix, rhs)
+        assert list(solution) == list(small_field.array(x))
+
+    def test_solve_inconsistent_raises(self, small_field):
+        matrix = np.array([[1, 0], [1, 0]])
+        with pytest.raises(FieldError):
+            gf_solve(small_field, matrix, np.array([1, 2]))
+
+    def test_solve_underdetermined(self, small_field):
+        matrix = np.array([[1, 1]])
+        with pytest.raises(FieldError):
+            gf_solve(small_field, matrix, np.array([5]))
+        solution = gf_solve(small_field, matrix, np.array([5]), allow_underdetermined=True)
+        assert (int(solution[0]) + int(solution[1])) % 97 == 5
+
+    def test_rank(self, small_field):
+        assert gf_rank(small_field, np.array([[1, 2], [2, 4]])) == 1
+        assert gf_rank(small_field, np.eye(3, dtype=int)) == 3
+
+    def test_inverse_matrix(self, small_field, rng):
+        matrix = rng.integers(0, 97, size=(4, 4))
+        while gf_rank(small_field, matrix) < 4:
+            matrix = rng.integers(0, 97, size=(4, 4))
+        inverse = gf_inverse_matrix(small_field, matrix)
+        assert gf_matmul(small_field, matrix, inverse).tolist() == np.eye(4, dtype=int).tolist()
+
+    def test_inverse_of_singular_raises(self, small_field):
+        with pytest.raises(FieldError):
+            gf_inverse_matrix(small_field, np.array([[1, 2], [2, 4]]))
+
+    def test_nullspace_vector(self, small_field):
+        matrix = np.array([[1, 2], [2, 4]])
+        vector = gf_nullspace_vector(small_field, matrix)
+        assert vector is not None
+        assert list(gf_matvec(small_field, matrix, vector)) == [0, 0]
+        assert gf_nullspace_vector(small_field, np.eye(2, dtype=int)) is None
+
+
+class TestVandermonde:
+    def test_matrix_entries(self, small_field):
+        matrix = vandermonde_matrix(small_field, [2, 3], 3)
+        assert matrix.tolist() == [[1, 2, 4], [1, 3, 9]]
+
+    def test_apply_equals_matvec(self, small_field, rng):
+        points = small_field.distinct_points(6)
+        coeffs = rng.integers(0, 97, size=4)
+        via_matrix = gf_matvec(
+            small_field, vandermonde_matrix(small_field, points, 4), coeffs
+        )
+        via_horner = vandermonde_apply(small_field, points, coeffs)
+        assert list(via_matrix) == list(via_horner)
+
+    def test_solve_recovers_coefficients(self, small_field, rng):
+        points = small_field.distinct_points(5)
+        coeffs = rng.integers(0, 97, size=5)
+        values = vandermonde_apply(small_field, points, coeffs)
+        recovered = vandermonde_solve(small_field, points, values)
+        assert list(recovered) == list(small_field.array(coeffs))
+
+    def test_solve_duplicate_points_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            vandermonde_solve(small_field, [1, 1], np.array([2, 3]))
+
+    def test_residual_zero_iff_consistent(self, small_field, rng):
+        points = small_field.distinct_points(4)
+        coeffs = rng.integers(0, 97, size=4)
+        values = vandermonde_apply(small_field, points, coeffs)
+        residual = vandermonde_residual(small_field, points, coeffs, values)
+        assert not residual.any()
+        corrupted = values.copy()
+        corrupted[2] = (corrupted[2] + 1) % 97
+        residual = vandermonde_residual(small_field, points, coeffs, corrupted)
+        assert residual[2] != 0 and residual[0] == 0
+
+
+class TestSubproductTree:
+    def test_root_vanishes_on_all_points(self, small_field):
+        points = small_field.distinct_points(9)
+        tree = SubproductTree(small_field, points)
+        assert all(tree.root.evaluate(p) == 0 for p in points)
+
+    def test_fast_evaluation_matches_horner(self, small_field, rng):
+        poly = Poly.random(small_field, 12, rng)
+        points = small_field.distinct_points(17)
+        tree = SubproductTree(small_field, points)
+        assert list(tree.evaluate(poly)) == [poly.evaluate(p) for p in points]
+
+    def test_fast_interpolation_matches_lagrange(self, small_field, rng):
+        points = small_field.distinct_points(11)
+        values = [int(v) for v in rng.integers(0, 97, size=11)]
+        tree = SubproductTree(small_field, points)
+        assert tree.interpolate(values) == lagrange_interpolate(small_field, points, values)
+
+    def test_non_power_of_two_sizes(self, small_field, rng):
+        for size in (1, 2, 3, 5, 7, 13):
+            points = small_field.distinct_points(size)
+            values = [int(v) for v in rng.integers(0, 97, size=size)]
+            tree = SubproductTree(small_field, points)
+            poly = tree.interpolate(values)
+            assert [poly.evaluate(p) for p in points] == values
+
+    def test_duplicate_points_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            SubproductTree(small_field, [1, 1, 2])
+
+    def test_multi_point_evaluate_helper(self, small_field, rng):
+        poly = Poly.random(small_field, 8, rng)
+        points = small_field.distinct_points(20)
+        assert list(multi_point_evaluate(small_field, poly, points)) == [
+            poly.evaluate(p) for p in points
+        ]

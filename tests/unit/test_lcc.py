@@ -1,0 +1,193 @@
+"""Unit tests for the Lagrange coded computing layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DecodingError, FieldError
+from repro.gf.multivariate import MultivariatePolynomial
+from repro.gf.prime_field import PrimeField
+from repro.lcc.decoder import CodedResultDecoder
+from repro.lcc.encoder import CodedStateEncoder
+from repro.lcc.scheme import LagrangeScheme
+
+
+@pytest.fixture
+def scheme(big_field):
+    return LagrangeScheme(big_field, num_machines=4, num_nodes=16)
+
+
+class TestScheme:
+    def test_points_are_distinct(self, scheme):
+        assert len(set(scheme.omegas)) == 4
+        assert len(set(scheme.alphas)) == 16
+        assert not set(scheme.omegas) & set(scheme.alphas)
+
+    def test_coefficient_matrix_shape(self, scheme):
+        assert scheme.coefficient_matrix.shape == (16, 4)
+
+    def test_coefficient_rows_sum_to_one(self, scheme, big_field):
+        # Lagrange basis functions sum to 1 at every evaluation point.
+        matrix = scheme.coefficient_matrix
+        for i in range(scheme.num_nodes):
+            assert big_field.sum(matrix[i, :]) == 1
+
+    def test_encode_scalars_matches_matrix(self, scheme, big_field, rng):
+        values = rng.integers(0, 1000, size=4)
+        encoded = scheme.encode_scalars(values)
+        expected = [(int(np.dot(scheme.coefficient_matrix[i].astype(object), values)) % big_field.order)
+                    for i in range(16)]
+        assert list(encoded) == expected
+
+    def test_encode_vectors_componentwise(self, scheme, rng):
+        values = rng.integers(0, 1000, size=(4, 3))
+        encoded = scheme.encode_vectors(values)
+        assert encoded.shape == (16, 3)
+        for component in range(3):
+            assert list(encoded[:, component]) == list(
+                scheme.encode_scalars(values[:, component])
+            )
+
+    def test_encode_for_node(self, scheme, rng):
+        values = rng.integers(0, 1000, size=(4, 2))
+        full = scheme.encode_vectors(values)
+        for node in (0, 7, 15):
+            assert list(scheme.encode_for_node(node, values)) == list(full[node])
+
+    def test_invalid_configurations_rejected(self, big_field):
+        with pytest.raises(ConfigurationError):
+            LagrangeScheme(big_field, num_machines=0, num_nodes=4)
+        with pytest.raises(ConfigurationError):
+            LagrangeScheme(big_field, num_machines=5, num_nodes=4)
+        small = PrimeField(7)
+        with pytest.raises(ConfigurationError):
+            LagrangeScheme(small, num_machines=3, num_nodes=5)
+
+    def test_custom_points_must_be_distinct(self, big_field):
+        with pytest.raises(ConfigurationError):
+            LagrangeScheme(big_field, 2, 4, omegas=[1, 1])
+
+    def test_degree_bookkeeping(self, scheme):
+        assert scheme.composite_degree(2) == 6
+        assert scheme.decoding_dimension(2) == 7
+        assert scheme.max_correctable_errors(2) == (16 - 7) // 2
+
+    def test_encode_wrong_row_count_rejected(self, scheme):
+        with pytest.raises(FieldError):
+            scheme.encode_vectors(np.zeros((3, 2), dtype=np.int64))
+
+
+class TestEncoder:
+    def test_matrix_and_interpolation_paths_agree(self, scheme, rng):
+        encoder = CodedStateEncoder(scheme)
+        values = rng.integers(0, 10_000, size=(4, 5))
+        assert np.array_equal(
+            encoder.encode(values), encoder.encode_via_interpolation(values)
+        )
+
+    def test_coded_value_at_omega_recovers_original(self, scheme, rng):
+        # Evaluating the interpolant at omega_k gives back machine k's value.
+        encoder = CodedStateEncoder(scheme)
+        values = rng.integers(0, 10_000, size=(4, 2))
+        polys = encoder.interpolation_polynomials(values)
+        for k, omega in enumerate(scheme.omegas):
+            assert polys[0].evaluate(omega) == int(values[k, 0])
+            assert polys[1].evaluate(omega) == int(values[k, 1])
+
+    def test_one_dimensional_input_promoted(self, scheme, rng):
+        encoder = CodedStateEncoder(scheme)
+        values = rng.integers(0, 100, size=4)
+        assert encoder.encode(values).shape == (16, 1)
+
+
+class TestDecoder:
+    def _coded_results(self, scheme, states, commands, polys):
+        encoder = CodedStateEncoder(scheme)
+        coded_states = encoder.encode(states)
+        coded_commands = encoder.encode(commands)
+        results = np.zeros((scheme.num_nodes, len(polys)), dtype=np.int64)
+        for i in range(scheme.num_nodes):
+            assignment = [int(v) for v in coded_states[i]] + [
+                int(v) for v in coded_commands[i]
+            ]
+            for j, poly in enumerate(polys):
+                results[i, j] = poly.evaluate(assignment)
+        return results
+
+    def _expected(self, states, commands, polys):
+        out = np.zeros((states.shape[0], len(polys)), dtype=np.int64)
+        for k in range(states.shape[0]):
+            assignment = [int(v) for v in states[k]] + [int(v) for v in commands[k]]
+            for j, poly in enumerate(polys):
+                out[k, j] = poly.evaluate(assignment)
+        return out
+
+    @pytest.fixture
+    def workload(self, scheme, big_field, rng):
+        states = rng.integers(0, 1000, size=(4, 2))
+        commands = rng.integers(0, 1000, size=(4, 2))
+        polys = [
+            MultivariatePolynomial(big_field, 4, {(1, 0, 1, 0): 1, (0, 1, 0, 0): 2}),
+            MultivariatePolynomial(big_field, 4, {(0, 0, 1, 1): 3, (1, 0, 0, 0): 1}),
+        ]
+        return states, commands, polys
+
+    def test_decode_without_errors(self, scheme, workload):
+        states, commands, polys = workload
+        decoder = CodedResultDecoder(scheme, transition_degree=2)
+        results = self._coded_results(scheme, states, commands, polys)
+        decoded = decoder.decode(results)
+        assert np.array_equal(decoded.outputs, self._expected(states, commands, polys))
+        assert decoded.error_nodes == ()
+
+    def test_decode_corrects_up_to_max_errors(self, scheme, workload, rng):
+        states, commands, polys = workload
+        decoder = CodedResultDecoder(scheme, transition_degree=2)
+        results = self._coded_results(scheme, states, commands, polys)
+        bad = list(rng.choice(scheme.num_nodes, size=decoder.max_errors, replace=False))
+        for i in bad:
+            results[i] = rng.integers(0, 10_000, size=results.shape[1])
+        decoded = decoder.decode(results)
+        assert np.array_equal(decoded.outputs, self._expected(states, commands, polys))
+        assert set(decoded.error_nodes) <= set(int(b) for b in bad)
+
+    def test_decode_fails_beyond_max_errors(self, scheme, workload):
+        states, commands, polys = workload
+        decoder = CodedResultDecoder(scheme, transition_degree=2)
+        results = self._coded_results(scheme, states, commands, polys)
+        for i in range(decoder.max_errors + 1):
+            results[i] = (results[i] + 1 + i)
+        with pytest.raises(DecodingError):
+            decoder.decode(results)
+
+    def test_decode_partial_with_silent_and_wrong_nodes(self, scheme, workload, rng):
+        states, commands, polys = workload
+        decoder = CodedResultDecoder(scheme, transition_degree=2)
+        results = self._coded_results(scheme, states, commands, polys)
+        entries: list = [row.copy() for row in results]
+        # Partially synchronous worst case: b silent, b wrong, 3b+1 <= N - d(K-1)
+        # With N=16, d(K-1)=6 -> b <= 3.
+        entries[0] = None
+        entries[1] = None
+        entries[2] = None
+        entries[5] = rng.integers(0, 100, size=results.shape[1])
+        entries[6] = rng.integers(0, 100, size=results.shape[1])
+        entries[7] = rng.integers(0, 100, size=results.shape[1])
+        decoded = decoder.decode_partial(entries)
+        assert np.array_equal(decoded.outputs, self._expected(states, commands, polys))
+        assert set(decoded.error_nodes) == {5, 6, 7}
+
+    def test_gao_backend_matches(self, scheme, workload):
+        states, commands, polys = workload
+        results = self._coded_results(scheme, states, commands, polys)
+        bw = CodedResultDecoder(scheme, transition_degree=2, decoder="berlekamp-welch")
+        gao = CodedResultDecoder(scheme, transition_degree=2, decoder="gao")
+        assert np.array_equal(bw.decode(results).outputs, gao.decode(results).outputs)
+
+    def test_unknown_decoder_rejected(self, scheme):
+        with pytest.raises(FieldError):
+            CodedResultDecoder(scheme, transition_degree=1, decoder="viterbi")
+
+    def test_wrong_result_count_rejected(self, scheme):
+        decoder = CodedResultDecoder(scheme, transition_degree=1)
+        with pytest.raises(DecodingError):
+            decoder.decode(np.zeros((3, 1), dtype=np.int64))

@@ -1,0 +1,231 @@
+"""Unit tests for the state machine abstraction, the machine library, and the
+Appendix A Boolean-function compiler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gf.extension_field import BinaryExtensionField
+from repro.gf.multivariate import MultivariatePolynomial
+from repro.gf.polynomial import Poly
+from repro.machine.boolean import (
+    BooleanTransitionCompiler,
+    boolean_function_to_polynomial,
+    embed_bits,
+    project_bits,
+)
+from repro.machine.interface import StateMachine
+from repro.machine.library import (
+    affine_kv_machine,
+    bank_account_machine,
+    counter_machine,
+    dot_product_machine,
+    quadratic_market_machine,
+    random_polynomial_machine,
+)
+from repro.machine.polynomial_machine import PolynomialTransition
+
+
+class TestPolynomialTransition:
+    def test_degree_is_max_over_components(self, big_field):
+        linear = MultivariatePolynomial(big_field, 2, {(1, 0): 1})
+        quadratic = MultivariatePolynomial(big_field, 2, {(1, 1): 1})
+        transition = PolynomialTransition(big_field, 1, 1, [linear], [quadratic])
+        assert transition.degree == 2
+        assert transition.result_dim == 2
+
+    def test_step_and_result_vector_agree(self, big_field):
+        machine = quadratic_market_machine(big_field)
+        state = np.array([5, 3])
+        command = np.array([2, 4])
+        next_state, output = machine.transition.step(state, command)
+        combined = machine.transition.evaluate_result_vector(state, command)
+        assert list(combined[:2]) == list(next_state)
+        assert list(combined[2:]) == list(output)
+
+    def test_split_result_roundtrip(self, big_field):
+        machine = quadratic_market_machine(big_field)
+        vector = np.array([1, 2, 3, 4])
+        state, output = machine.transition.split_result(vector)
+        assert list(state) == [1, 2] and list(output) == [3, 4]
+
+    def test_compose_matches_coded_evaluation(self, big_field, rng):
+        # The composite polynomial h(z) = f(u(z), v(z)) evaluated at a point
+        # equals f applied to the coded (evaluated) state and command.
+        machine = quadratic_market_machine(big_field)
+        state_polys = [Poly.random(big_field, 3, rng) for _ in range(2)]
+        command_polys = [Poly.random(big_field, 3, rng) for _ in range(2)]
+        composites = machine.transition.compose(state_polys, command_polys)
+        for z in range(5, 12):
+            coded_state = np.array([p.evaluate(z) for p in state_polys])
+            coded_command = np.array([p.evaluate(z) for p in command_polys])
+            direct = machine.transition.evaluate_result_vector(coded_state, coded_command)
+            via_composite = [h.evaluate(z) for h in composites]
+            assert list(direct) == via_composite
+
+    def test_dimension_validation(self, big_field):
+        linear = MultivariatePolynomial(big_field, 2, {(1, 0): 1})
+        with pytest.raises(ConfigurationError):
+            PolynomialTransition(big_field, 2, 1, [linear], [linear])  # arity mismatch
+        with pytest.raises(ConfigurationError):
+            PolynomialTransition(big_field, 1, 1, [linear], [])  # no outputs
+
+
+class TestStateMachine:
+    def test_initial_state_dimension_checked(self, big_field):
+        machine = counter_machine(big_field)
+        with pytest.raises(ConfigurationError):
+            StateMachine(
+                field=big_field,
+                transition=machine.transition,
+                initial_state=np.array([1, 2]),
+            )
+
+    def test_step_validates_dimensions(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        with pytest.raises(ConfigurationError):
+            machine.step(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ConfigurationError):
+            machine.step(np.array([1, 2]), np.array([1]))
+
+    def test_run_sequence(self, big_field):
+        machine = counter_machine(big_field)
+        final_state, outputs = machine.run(np.array([[1], [2], [3]]))
+        assert final_state.tolist() == [6]
+        assert outputs.reshape(-1).tolist() == [1, 3, 6]
+
+    def test_replicate_creates_independent_machines(self, big_field):
+        machines = counter_machine(big_field).replicate(3)
+        assert len(machines) == 3
+        assert all(m.transition is machines[0].transition for m in machines)
+        machines[0].initial_state[0] = 99
+        assert machines[1].initial_state[0] == 0
+
+
+class TestLibraryMachines:
+    def test_bank_account_is_linear(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=3)
+        assert machine.degree == 1
+        state, output = machine.step(np.array([10, 20, 30]), np.array([1, 2, 3]))
+        assert state.tolist() == [11, 22, 33]
+        assert output.tolist() == [11, 22, 33]
+
+    def test_bank_account_withdrawal_uses_additive_inverse(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        withdrawal = big_field.neg(5)
+        state, _ = machine.step(np.array([20]), np.array([withdrawal]))
+        assert state.tolist() == [15]
+
+    def test_affine_kv(self, big_field):
+        machine = affine_kv_machine(big_field, num_keys=2, scale=3)
+        assert machine.degree == 1
+        state, output = machine.step(np.array([4, 5]), np.array([1, 2]))
+        assert state.tolist() == [13, 17]
+        assert output.tolist() == [4, 5]  # outputs report the old values
+
+    def test_quadratic_market_degree_and_semantics(self, big_field):
+        machine = quadratic_market_machine(big_field)
+        assert machine.degree == 2
+        state, output = machine.step(np.array([100, 7]), np.array([3, 2]))
+        assert state.tolist() == [103, 13]          # inventory+q, price+q*a
+        assert output.tolist() == [21, 13]          # trade value = price*q
+
+    def test_dot_product_machine(self, big_field):
+        machine = dot_product_machine(big_field, vector_dim=3)
+        assert machine.degree == 2
+        state = np.array([0, 2, 3, 4])              # acc=0, weights (2,3,4)
+        command = np.array([1, 1, 1])
+        next_state, output = machine.step(state, command)
+        assert output.tolist() == [9]
+        assert next_state.tolist() == [9, 2, 3, 4]
+
+    def test_random_machine_degree(self, big_field, rng):
+        machine = random_polynomial_machine(big_field, 2, 2, degree=3, rng=rng)
+        assert machine.degree == 3
+
+    def test_invalid_library_arguments(self, big_field, rng):
+        with pytest.raises(ConfigurationError):
+            bank_account_machine(big_field, num_accounts=0)
+        with pytest.raises(ConfigurationError):
+            random_polynomial_machine(big_field, 1, 1, degree=0, rng=rng)
+
+
+class TestBooleanCompiler:
+    def test_and_function_polynomial(self):
+        field = BinaryExtensionField(4)
+        poly = boolean_function_to_polynomial(field, 2, lambda bits: bits[0] & bits[1])
+        for a in (0, 1):
+            for b in (0, 1):
+                assert poly.evaluate([a, b]) == (a & b)
+
+    def test_xor_and_majority_functions(self):
+        field = BinaryExtensionField(4)
+        xor = boolean_function_to_polynomial(field, 2, lambda bits: bits[0] ^ bits[1])
+        majority = boolean_function_to_polynomial(
+            field, 3, lambda bits: 1 if sum(bits) >= 2 else 0
+        )
+        for a in (0, 1):
+            for b in (0, 1):
+                assert xor.evaluate([a, b]) == (a ^ b)
+                for c in (0, 1):
+                    assert majority.evaluate([a, b, c]) == (1 if a + b + c >= 2 else 0)
+
+    def test_degree_at_most_num_inputs(self, rng):
+        field = BinaryExtensionField(8)
+        for n in (2, 3, 4):
+            table = {tuple(map(int, np.binary_repr(i, n))): int(rng.integers(0, 2))
+                     for i in range(2**n)}
+            poly = boolean_function_to_polynomial(field, n, lambda bits: table[tuple(bits)])
+            assert poly.total_degree <= n
+
+    def test_embed_project_roundtrip(self):
+        field = BinaryExtensionField(8)
+        bits = [1, 0, 1, 1]
+        assert project_bits(field, embed_bits(field, bits)).tolist() == bits
+
+    def test_compiled_machine_matches_reference(self, rng):
+        # A 2-bit counter with a carry output, compiled via Appendix A.
+        field = BinaryExtensionField(8)
+
+        def next_low(bits):
+            low, high, inc = bits
+            return low ^ inc
+
+        def next_high(bits):
+            low, high, inc = bits
+            return high ^ (low & inc)
+
+        def carry_out(bits):
+            low, high, inc = bits
+            return high & low & inc
+
+        compiler = BooleanTransitionCompiler(
+            field,
+            state_bits=2,
+            command_bits=1,
+            next_state_functions=[next_low, next_high],
+            output_functions=[carry_out],
+        )
+        machine = compiler.compile_machine([0, 0])
+        assert machine.degree <= 3
+        state_bits = [0, 0]
+        state = embed_bits(field, state_bits)
+        for _ in range(6):
+            command_bits = [1]
+            expected_state, expected_output = compiler.reference_step(
+                state_bits, command_bits
+            )
+            state, output = machine.step(state, embed_bits(field, command_bits))
+            assert project_bits(field, state).tolist() == expected_state
+            assert project_bits(field, output).tolist() == expected_output
+            state_bits = expected_state
+
+    def test_compiler_validation(self):
+        field = BinaryExtensionField(4)
+        with pytest.raises(ConfigurationError):
+            BooleanTransitionCompiler(field, 2, 1, [lambda b: 0], [lambda b: 0])
+        compiler = BooleanTransitionCompiler(
+            field, 1, 1, [lambda b: b[0]], [lambda b: b[0]]
+        )
+        with pytest.raises(ConfigurationError):
+            compiler.compile_machine([0, 1])

@@ -1,0 +1,118 @@
+"""Unit tests for sparse multivariate polynomials."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FieldError
+from repro.gf.multivariate import Monomial, MultivariatePolynomial
+from repro.gf.polynomial import Poly
+
+
+class TestConstruction:
+    def test_zero_coefficient_terms_dropped(self, small_field):
+        poly = MultivariatePolynomial(small_field, 2, {(1, 0): 0, (0, 1): 3})
+        assert poly.terms == {(0, 1): 3}
+
+    def test_duplicate_exponents_merged(self, small_field):
+        poly = MultivariatePolynomial(small_field, 1, [((1,), 3), ((1,), 5)])
+        assert poly.coefficient([1]) == 8
+
+    def test_wrong_arity_exponent_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            MultivariatePolynomial(small_field, 2, {(1,): 1})
+
+    def test_variable_and_constant(self, small_field):
+        x1 = MultivariatePolynomial.variable(small_field, 3, 1)
+        assert x1.evaluate([10, 20, 30]) == 20
+        c = MultivariatePolynomial.constant(small_field, 3, 7)
+        assert c.evaluate([1, 2, 3]) == 7
+
+    def test_variable_out_of_range(self, small_field):
+        with pytest.raises(FieldError):
+            MultivariatePolynomial.variable(small_field, 2, 5)
+
+    def test_monomials_roundtrip(self, small_field):
+        poly = MultivariatePolynomial(small_field, 2, {(1, 1): 2, (2, 0): 3})
+        rebuilt = MultivariatePolynomial.from_monomials(small_field, 2, poly.monomials())
+        assert rebuilt == poly
+
+    def test_random_has_requested_total_degree(self, small_field, rng):
+        for degree in (1, 2, 4):
+            poly = MultivariatePolynomial.random(small_field, 3, degree, rng)
+            assert poly.total_degree == degree
+
+
+class TestArithmeticAndEvaluation:
+    def test_degree(self, small_field):
+        poly = MultivariatePolynomial(small_field, 2, {(2, 1): 1, (0, 1): 4})
+        assert poly.total_degree == 3
+        assert poly.partial_degree(0) == 2
+        assert poly.partial_degree(1) == 1
+
+    def test_addition_and_subtraction(self, small_field):
+        a = MultivariatePolynomial(small_field, 2, {(1, 0): 2})
+        b = MultivariatePolynomial(small_field, 2, {(1, 0): 95, (0, 1): 1})
+        total = a + b
+        assert total.coefficient([1, 0]) == 0
+        assert total.coefficient([0, 1]) == 1
+        assert (total - b) == a
+
+    def test_multiplication(self, small_field):
+        x = MultivariatePolynomial.variable(small_field, 2, 0)
+        y = MultivariatePolynomial.variable(small_field, 2, 1)
+        product = (x + y) * (x + y)
+        assert product.coefficient([2, 0]) == 1
+        assert product.coefficient([1, 1]) == 2
+        assert product.coefficient([0, 2]) == 1
+
+    def test_evaluate_matches_direct_computation(self, small_field):
+        # f(x, y) = 3x^2 y + 5y + 7
+        poly = MultivariatePolynomial(
+            small_field, 2, {(2, 1): 3, (0, 1): 5, (0, 0): 7}
+        )
+        x, y = 4, 9
+        expected = (3 * x * x * y + 5 * y + 7) % 97
+        assert poly.evaluate([x, y]) == expected
+
+    def test_evaluate_wrong_arity_raises(self, small_field):
+        poly = MultivariatePolynomial.variable(small_field, 2, 0)
+        with pytest.raises(FieldError):
+            poly.evaluate([1])
+
+    def test_evaluate_batch_matches_scalar(self, small_field, rng):
+        poly = MultivariatePolynomial.random(small_field, 3, 2, rng)
+        points = rng.integers(0, 97, size=(11, 3))
+        batch = poly.evaluate_batch(points)
+        assert list(batch) == [poly.evaluate(list(p)) for p in points]
+
+    def test_scale(self, small_field):
+        poly = MultivariatePolynomial(small_field, 1, {(1,): 2})
+        assert poly.scale(3).coefficient([1]) == 6
+        assert poly.scale(0).is_zero
+
+
+class TestComposition:
+    def test_compose_univariate_degree_bound(self, small_field, rng):
+        # f of total degree d composed with inner polys of degree K-1 gives
+        # a univariate polynomial of degree at most d*(K-1).
+        d, inner_degree = 2, 4
+        poly = MultivariatePolynomial.random(small_field, 2, d, rng)
+        inner = [Poly.random(small_field, inner_degree, rng) for _ in range(2)]
+        composed = poly.compose_univariate(inner)
+        assert composed.degree <= d * inner_degree
+
+    def test_compose_univariate_agrees_pointwise(self, small_field, rng):
+        poly = MultivariatePolynomial.random(small_field, 3, 2, rng)
+        inner = [Poly.random(small_field, 3, rng) for _ in range(3)]
+        composed = poly.compose_univariate(inner)
+        for point in range(10):
+            assignment = [p.evaluate(point) for p in inner]
+            assert composed.evaluate(point) == poly.evaluate(assignment)
+
+    def test_compose_wrong_count_raises(self, small_field, rng):
+        poly = MultivariatePolynomial.random(small_field, 2, 1, rng)
+        with pytest.raises(FieldError):
+            poly.compose_univariate([Poly.one(small_field)])
+
+    def test_monomial_total_degree(self):
+        assert Monomial((1, 2, 0), 5).total_degree == 3

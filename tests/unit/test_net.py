@@ -1,0 +1,234 @@
+"""Unit tests for the network substrate: messages, signatures, delay models,
+the event scheduler, the simulated network, and the Byzantine behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.net.byzantine import (
+    CorruptResultBehavior,
+    DelayingBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    RandomGarbageBehavior,
+    SilentBehavior,
+    behavior_from_name,
+)
+from repro.net.latency import PartiallySynchronousDelay, SynchronousDelay
+from repro.net.message import Message, MessageKind
+from repro.net.network import SimulatedNetwork
+from repro.net.signatures import KeyRegistry
+from repro.net.simulator import EventScheduler
+
+
+class TestMessagesAndSignatures:
+    def _message(self, payload=None):
+        return Message(
+            sender="node-1",
+            recipient="node-2",
+            kind=MessageKind.CODED_RESULT,
+            round_index=3,
+            payload=payload if payload is not None else {"value": 7},
+        )
+
+    def test_sign_and_verify(self):
+        keys = KeyRegistry()
+        message = keys.sign(self._message())
+        assert keys.verify(message)
+
+    def test_unsigned_message_fails_verification(self):
+        keys = KeyRegistry()
+        keys.register("node-1")
+        assert not keys.verify(self._message())
+
+    def test_tampered_payload_fails_verification(self):
+        keys = KeyRegistry()
+        message = keys.sign(self._message({"value": 7}))
+        message.payload = {"value": 8}
+        assert not keys.verify(message)
+
+    def test_forgery_is_detected(self):
+        keys = KeyRegistry()
+        keys.register("node-1")
+        keys.register("victim")
+        forged = keys.sign_as(self._message(), "victim")
+        assert forged.sender == "victim"
+        assert not keys.verify(forged)
+
+    def test_signature_covers_numpy_payloads(self):
+        keys = KeyRegistry()
+        message = self._message(np.array([1, 2, 3]))
+        keys.sign(message)
+        assert keys.verify(message)
+        message.payload = np.array([1, 2, 4])
+        assert not keys.verify(message)
+
+    def test_broadcast_copy_keeps_signature_valid(self):
+        keys = KeyRegistry()
+        message = keys.sign(self._message())
+        copy = message.with_recipient("node-9")
+        assert keys.verify(copy)
+
+    def test_require_valid_raises(self):
+        keys = KeyRegistry()
+        with pytest.raises(Exception):
+            keys.require_valid(self._message())
+
+
+class TestDelayModels:
+    def test_synchronous_delay_within_bounds(self, rng):
+        model = SynchronousDelay(max_delay=2.0, min_delay=0.5)
+        for _ in range(100):
+            delay = model.sample_delay(0.0, rng)
+            assert 0.5 <= delay <= 2.0
+        assert model.synchronous_bound == 2.0
+        assert model.is_synchronous_at(0.0)
+
+    def test_synchronous_delay_validation(self):
+        with pytest.raises(ValueError):
+            SynchronousDelay(max_delay=1.0, min_delay=2.0)
+
+    def test_partially_synchronous_before_and_after_gst(self, rng):
+        model = PartiallySynchronousDelay(gst=10.0, max_delay=1.0, pre_gst_extra=100.0)
+        post = [model.sample_delay(11.0, rng) for _ in range(100)]
+        assert all(d <= 1.0 for d in post)
+        pre = [model.sample_delay(0.0, rng) for _ in range(100)]
+        assert max(pre) > 1.0  # some messages heavily delayed before GST
+        assert not model.is_synchronous_at(5.0)
+        assert model.is_synchronous_at(10.0)
+
+
+class TestEventScheduler:
+    def test_events_processed_in_time_order(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(2.0, lambda: seen.append("late"))
+        scheduler.schedule(1.0, lambda: seen.append("early"))
+        scheduler.run_until_idle()
+        assert seen == ["early", "late"]
+        assert scheduler.now == 2.0
+
+    def test_run_until_only_processes_due_events(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(1.0, lambda: seen.append(1))
+        scheduler.schedule(5.0, lambda: seen.append(5))
+        scheduler.run_until(2.0)
+        assert seen == [1]
+        assert scheduler.pending == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler()
+        scheduler.advance_to(5.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_run_until_idle_event_cap(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule(1.0, reschedule)
+
+        scheduler.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until_idle(max_events=50)
+
+
+class TestSimulatedNetwork:
+    def _network(self):
+        network = SimulatedNetwork(
+            delay_model=SynchronousDelay(max_delay=1.0, min_delay=0.1),
+            rng=np.random.default_rng(0),
+        )
+        for node in ("a", "b", "c"):
+            network.register(node)
+        return network
+
+    def test_send_and_collect(self):
+        network = self._network()
+        network.send(
+            Message("a", "b", MessageKind.CODED_RESULT, 0, {"x": 1})
+        )
+        received = network.collect("b", kind=MessageKind.CODED_RESULT, round_index=0)
+        assert len(received) == 1
+        assert received[0].payload == {"x": 1}
+
+    def test_collect_filters_round_and_kind(self):
+        network = self._network()
+        network.send(Message("a", "b", MessageKind.CODED_RESULT, 0, 1))
+        network.send(Message("a", "b", MessageKind.CODED_RESULT, 1, 2))
+        network.send(Message("a", "b", MessageKind.CLIENT_COMMAND, 0, 3))
+        received = network.collect("b", kind=MessageKind.CODED_RESULT, round_index=0)
+        assert [m.payload for m in received] == [1]
+
+    def test_broadcast_reaches_everyone(self):
+        network = self._network()
+        network.broadcast(Message("a", "*", MessageKind.CONSENSUS_PROPOSAL, 0, "p"))
+        received = network.collect_all(["a", "b", "c"], kind=MessageKind.CONSENSUS_PROPOSAL)
+        assert all(len(msgs) == 1 for msgs in received.values())
+
+    def test_unknown_recipient_rejected(self):
+        network = self._network()
+        with pytest.raises(KeyError):
+            network.send(Message("a", "zzz", MessageKind.CODED_RESULT, 0, 1))
+
+    def test_forged_messages_dropped(self):
+        network = self._network()
+        forged = network.keys.sign_as(
+            Message("a", "b", MessageKind.CODED_RESULT, 0, 1), "c"
+        )
+        network.send(forged, sign=False)
+        received = network.collect("b", kind=MessageKind.CODED_RESULT)
+        assert received == []
+        assert network.rejected_signatures == 1
+
+    def test_stats(self):
+        network = self._network()
+        network.send(Message("a", "b", MessageKind.CODED_RESULT, 0, 1))
+        network.flush()
+        stats = network.stats()
+        assert stats["messages_sent"] == 1
+        assert stats["rejected_signatures"] == 0
+
+
+class TestByzantineBehaviors:
+    def test_honest_behavior_returns_value_unchanged(self, big_field, rng):
+        value = np.array([1, 2, 3])
+        result = HonestBehavior().transform_result(big_field, "n", value, rng)
+        assert result.tolist() == [1, 2, 3]
+        assert not HonestBehavior().is_faulty
+
+    def test_corrupt_behavior_changes_every_component(self, big_field, rng):
+        value = np.array([1, 2, 3])
+        result = CorruptResultBehavior(offset=5).transform_result(big_field, "n", value, rng)
+        assert result.tolist() == [6, 7, 8]
+        with pytest.raises(ValueError):
+            CorruptResultBehavior(offset=0)
+
+    def test_silent_behavior_returns_none(self, big_field, rng):
+        assert SilentBehavior().transform_result(big_field, "n", np.array([1]), rng) is None
+
+    def test_garbage_behavior_changes_value(self, big_field, rng):
+        value = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+        result = RandomGarbageBehavior().transform_result(big_field, "n", value, rng)
+        assert result.tolist() != value.tolist()
+
+    def test_equivocating_behavior_differs_per_recipient(self, big_field, rng):
+        value = np.array([10, 20])
+        behavior = EquivocatingBehavior()
+        to_a = behavior.transform_result(big_field, "n", value, rng, recipient="a")
+        to_b = behavior.transform_result(big_field, "n", value, rng, recipient="b")
+        assert to_a.tolist() != value.tolist()
+        assert to_a.tolist() != to_b.tolist()
+
+    def test_delaying_behavior_keeps_value_but_flags_delay(self, big_field, rng):
+        behavior = DelayingBehavior()
+        assert behavior.delays_message()
+        assert behavior.transform_result(big_field, "n", np.array([5]), rng).tolist() == [5]
+
+    def test_behavior_from_name(self):
+        assert isinstance(behavior_from_name("honest"), HonestBehavior)
+        assert isinstance(behavior_from_name("silent"), SilentBehavior)
+        with pytest.raises(ValueError):
+            behavior_from_name("teleport")

@@ -1,0 +1,178 @@
+"""Unit tests for the prime field GF(p)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FieldError
+from repro.gf.field import OperationCounter
+from repro.gf.prime_field import DEFAULT_PRIME, PrimeField
+
+
+class TestConstruction:
+    def test_default_modulus_is_mersenne_prime(self):
+        field = PrimeField()
+        assert field.order == DEFAULT_PRIME == 2**31 - 1
+
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(91)
+
+    def test_rejects_modulus_too_large_for_int64(self):
+        with pytest.raises(FieldError):
+            PrimeField(2**62 - 57)  # even if prime, products overflow
+
+    def test_characteristic_equals_modulus(self):
+        assert PrimeField(97).characteristic == 97
+
+    def test_equality_and_hash(self):
+        assert PrimeField(97) == PrimeField(97)
+        assert PrimeField(97) != PrimeField(101)
+        assert hash(PrimeField(97)) == hash(PrimeField(97))
+
+
+class TestScalarArithmetic:
+    def test_add_wraps_modulo_p(self, small_field):
+        assert small_field.add(90, 10) == 3
+
+    def test_sub_wraps_modulo_p(self, small_field):
+        assert small_field.sub(3, 10) == 90
+
+    def test_mul(self, small_field):
+        assert small_field.mul(10, 20) == 200 % 97
+
+    def test_neg(self, small_field):
+        assert small_field.neg(1) == 96
+        assert small_field.neg(0) == 0
+
+    def test_inverse_times_element_is_one(self, small_field):
+        for value in range(1, 97):
+            assert small_field.mul(value, small_field.inv(value)) == 1
+
+    def test_inverse_of_zero_raises(self, small_field):
+        with pytest.raises(FieldError):
+            small_field.inv(0)
+
+    def test_pow_matches_python_pow(self, small_field):
+        assert small_field.pow(5, 13) == pow(5, 13, 97)
+
+    def test_pow_negative_exponent_uses_inverse(self, small_field):
+        assert small_field.mul(small_field.pow(5, -2), small_field.pow(5, 2)) == 1
+
+    def test_div(self, small_field):
+        assert small_field.div(10, 5) == 2
+
+    def test_element_canonicalises_negative_values(self, small_field):
+        assert small_field.element(-1) == 96
+
+
+class TestVectorArithmetic:
+    def test_array_reduces_mod_p(self, small_field):
+        arr = small_field.array([98, 194, -1])
+        assert list(arr) == [1, 0, 96]
+
+    def test_vector_add_and_mul(self, small_field):
+        a = small_field.array([1, 2, 3])
+        b = small_field.array([96, 95, 94])
+        assert list(small_field.add(a, b)) == [0, 0, 0]
+        assert list(small_field.mul(a, b)) == [96, 93, 88]
+
+    def test_vector_inverse(self, small_field):
+        values = small_field.array([1, 2, 3, 50])
+        inverses = small_field.inv(values)
+        assert list(small_field.mul(values, inverses)) == [1, 1, 1, 1]
+
+    def test_vector_inverse_with_zero_raises(self, small_field):
+        with pytest.raises(FieldError):
+            small_field.inv(small_field.array([1, 0, 3]))
+
+    def test_vector_pow(self, small_field):
+        values = small_field.array([2, 3, 4])
+        assert list(small_field.pow(values, 3)) == [8, 27, 64 % 97]
+
+    def test_dot_product(self, small_field):
+        a = small_field.array([1, 2, 3])
+        b = small_field.array([4, 5, 6])
+        assert small_field.dot(a, b) == (4 + 10 + 18) % 97
+
+    def test_dot_shape_mismatch_raises(self, small_field):
+        with pytest.raises(FieldError):
+            small_field.dot(small_field.array([1, 2]), small_field.array([1, 2, 3]))
+
+    def test_batch_inv_matches_scalar_inv(self, small_field, rng):
+        values = small_field.array(rng.integers(1, 97, size=17))
+        batch = small_field.batch_inv(values)
+        expected = [small_field.inv(int(v)) for v in values]
+        assert list(batch) == expected
+
+    def test_batch_inv_rejects_zero(self, small_field):
+        with pytest.raises(FieldError):
+            small_field.batch_inv(small_field.array([1, 0]))
+
+    def test_sum(self, small_field):
+        assert small_field.sum([96, 1, 5]) == 5
+        assert small_field.sum([]) == 0
+
+    def test_powers(self, small_field):
+        assert list(small_field.powers(3, 5)) == [1, 3, 9, 27, 81]
+
+    def test_geometric_column_is_vandermonde(self, small_field):
+        matrix = small_field.geometric_column(small_field.array([2, 3]), 3)
+        assert matrix.tolist() == [[1, 2, 4, 8], [1, 3, 9, 27]]
+
+    def test_large_field_products_do_not_overflow(self, big_field):
+        near_p = big_field.order - 2
+        arr = big_field.array([near_p, near_p])
+        result = big_field.mul(arr, arr)
+        assert list(result) == [pow(near_p, 2, big_field.order)] * 2
+
+
+class TestSamplingAndPoints:
+    def test_random_element_in_range(self, small_field, rng):
+        for _ in range(50):
+            assert 0 <= small_field.random_element(rng) < 97
+
+    def test_random_nonzero_never_zero(self, small_field, rng):
+        assert all(small_field.random_nonzero(rng) != 0 for _ in range(100))
+
+    def test_distinct_points(self, small_field):
+        points = small_field.distinct_points(10, start=5)
+        assert len(set(points)) == 10
+        assert points[0] == 5
+
+    def test_distinct_points_too_many_raises(self, small_field):
+        with pytest.raises(FieldError):
+            small_field.distinct_points(97)
+
+
+class TestOperationCounting:
+    def test_counter_records_scalar_ops(self, small_field):
+        counter = OperationCounter()
+        small_field.attach_counter(counter)
+        small_field.add(1, 2)
+        small_field.mul(3, 4)
+        small_field.attach_counter(None)
+        assert counter.additions == 1
+        assert counter.multiplications == 1
+        assert counter.total == 2
+
+    def test_counter_records_vector_ops_by_size(self, small_field):
+        counter = OperationCounter()
+        small_field.attach_counter(counter)
+        small_field.add(small_field.array([1, 2, 3]), small_field.array([4, 5, 6]))
+        small_field.attach_counter(None)
+        assert counter.additions == 3
+
+    def test_counter_merge_and_reset(self):
+        a = OperationCounter(additions=2, multiplications=3)
+        b = OperationCounter(additions=1, multiplications=1, inversions=1)
+        a.merge(b)
+        assert a.additions == 3 and a.multiplications == 4 and a.inversions == 1
+        a.reset()
+        assert a.total == 0
+
+    def test_detached_counter_not_updated(self, small_field):
+        counter = OperationCounter()
+        small_field.attach_counter(counter)
+        small_field.attach_counter(None)
+        small_field.mul(2, 3)
+        assert counter.total == 0

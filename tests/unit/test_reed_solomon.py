@@ -1,0 +1,191 @@
+"""Unit tests for the Reed–Solomon code container and both decoders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecodingError, FieldError
+from repro.coding.berlekamp_welch import BerlekampWelchDecoder
+from repro.coding.erasure import ErasureDecoder, puncture
+from repro.coding.gao import GaoDecoder
+from repro.coding.radius import (
+    composite_degree,
+    max_dimension_for_errors,
+    max_errors_correctable,
+    max_faults_partially_synchronous,
+    max_faults_synchronous,
+    max_machines_partially_synchronous,
+    max_machines_synchronous,
+    required_length,
+)
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.gf.polynomial import Poly
+
+
+@pytest.fixture
+def code(small_field):
+    return ReedSolomonCode(small_field, small_field.distinct_points(15), 5)
+
+
+class TestCodeContainer:
+    def test_length_dimension_distance(self, code):
+        assert code.length == 15
+        assert code.dimension == 5
+        assert code.minimum_distance == 11
+        assert code.correction_radius == 5
+
+    def test_duplicate_points_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            ReedSolomonCode(small_field, [1, 1, 2], 2)
+
+    def test_dimension_larger_than_length_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            ReedSolomonCode(small_field, [1, 2, 3], 4)
+
+    def test_field_too_small_rejected(self, small_field):
+        with pytest.raises(FieldError):
+            ReedSolomonCode(small_field, list(range(97)), 3)
+
+    def test_encode_matches_polynomial_evaluation(self, code, small_field):
+        poly = Poly(small_field, [1, 2, 3, 4, 5])
+        codeword = code.encode([1, 2, 3, 4, 5])
+        assert list(codeword) == [poly.evaluate(x) for x in code.evaluation_points]
+
+    def test_encode_wrong_length_rejected(self, code):
+        with pytest.raises(FieldError):
+            code.encode([1, 2, 3])
+
+    def test_encode_polynomial_degree_too_high_rejected(self, code, small_field):
+        with pytest.raises(FieldError):
+            code.encode_polynomial(Poly.monomial(small_field, 5))
+
+    def test_is_codeword(self, code):
+        codeword = code.encode([9, 8, 7, 6, 5])
+        assert code.is_codeword(codeword)
+        corrupted = codeword.copy()
+        corrupted[0] = (corrupted[0] + 1) % 97
+        assert not code.is_codeword(corrupted)
+
+    def test_errors_against(self, code, small_field):
+        poly = Poly(small_field, [1, 0, 0, 0, 1])
+        word = code.encode_polynomial(poly).copy()
+        word[3] = (word[3] + 5) % 97
+        word[7] = (word[7] + 5) % 97
+        assert code.errors_against(poly, word) == (3, 7)
+
+
+@pytest.mark.parametrize("decoder_cls", [BerlekampWelchDecoder, GaoDecoder])
+class TestErrorDecoders:
+    def test_decodes_clean_codeword(self, code, decoder_cls):
+        message = [3, 1, 4, 1, 5]
+        result = decoder_cls(code).decode(code.encode(message))
+        assert result.polynomial.coefficient_array(5).tolist() == message
+        assert result.num_errors == 0
+
+    def test_corrects_up_to_radius(self, code, decoder_cls, rng):
+        message = [int(v) for v in rng.integers(0, 97, size=5)]
+        codeword = code.encode(message)
+        corrupted = codeword.copy()
+        error_positions = rng.choice(code.length, size=code.correction_radius, replace=False)
+        for pos in error_positions:
+            corrupted[pos] = (corrupted[pos] + int(rng.integers(1, 97))) % 97
+        result = decoder_cls(code).decode(corrupted)
+        assert result.polynomial.coefficient_array(5).tolist() == message
+        assert set(result.error_positions) <= set(int(p) for p in error_positions)
+
+    def test_fails_beyond_radius(self, code, decoder_cls, rng):
+        message = [int(v) for v in rng.integers(0, 97, size=5)]
+        codeword = code.encode(message)
+        corrupted = codeword.copy()
+        # radius + 1 structured errors that do not form another codeword
+        for pos in range(code.correction_radius + 1):
+            corrupted[pos] = (corrupted[pos] + 1 + pos) % 97
+        with pytest.raises(DecodingError):
+            decoder_cls(code).decode(corrupted)
+
+    def test_error_positions_reported(self, code, decoder_cls):
+        codeword = code.encode([1, 2, 3, 4, 5])
+        corrupted = codeword.copy()
+        corrupted[2] = (corrupted[2] + 11) % 97
+        corrupted[9] = (corrupted[9] + 22) % 97
+        result = decoder_cls(code).decode(corrupted)
+        assert set(result.error_positions) == {2, 9}
+
+    def test_wrong_length_rejected(self, code, decoder_cls):
+        with pytest.raises(DecodingError):
+            decoder_cls(code).decode([1, 2, 3])
+
+
+class TestBerlekampWelchSpecifics:
+    def test_explicit_error_count(self, code, rng):
+        message = [int(v) for v in rng.integers(0, 97, size=5)]
+        corrupted = code.encode(message)
+        corrupted[1] = (corrupted[1] + 3) % 97
+        result = BerlekampWelchDecoder(code).decode(corrupted, num_errors=1)
+        assert result.polynomial.coefficient_array(5).tolist() == message
+
+    def test_trivial_code(self, small_field):
+        code = ReedSolomonCode(small_field, [5], 1)
+        result = BerlekampWelchDecoder(code).decode([42])
+        assert result.polynomial.coeffs == [42]
+
+
+class TestErasureDecoder:
+    def test_erasures_only(self, code, rng):
+        message = [int(v) for v in rng.integers(0, 97, size=5)]
+        word = puncture(code.encode(message), [0, 4, 8, 12])
+        result = ErasureDecoder(code).decode_erasures_only(word)
+        assert result.polynomial.coefficient_array(5).tolist() == message
+
+    def test_erasures_plus_errors(self, code, rng):
+        message = [int(v) for v in rng.integers(0, 97, size=5)]
+        codeword = code.encode(message)
+        word = puncture(codeword, [1, 6])          # 2 erasures -> 13 survivors
+        word[3] = (int(word[3]) + 7) % 97            # plus errors within radius
+        word[10] = (int(word[10]) + 7) % 97
+        result = ErasureDecoder(code).decode_with_erasures(word)
+        assert result.polynomial.coefficient_array(5).tolist() == message
+        assert set(result.error_positions) == {3, 10}
+
+    def test_too_few_survivors_rejected(self, code):
+        word = puncture(code.encode([1, 2, 3, 4, 5]), list(range(12)))
+        with pytest.raises(DecodingError):
+            ErasureDecoder(code).decode_with_erasures(word)
+
+    def test_erasures_only_detects_inconsistency(self, code):
+        word = puncture(code.encode([1, 2, 3, 4, 5]), [0])
+        word[5] = (int(word[5]) + 1) % 97
+        with pytest.raises(DecodingError):
+            ErasureDecoder(code).decode_erasures_only(word)
+
+
+class TestRadiusFormulas:
+    def test_max_errors(self):
+        assert max_errors_correctable(15, 5) == 5
+        assert max_errors_correctable(16, 5) == 5
+        with pytest.raises(ValueError):
+            max_errors_correctable(4, 5)
+
+    def test_max_dimension(self):
+        assert max_dimension_for_errors(15, 5) == 5
+        assert max_dimension_for_errors(10, 6) == 0
+
+    def test_required_length(self):
+        assert required_length(5, 5) == 15
+
+    def test_composite_degree(self):
+        assert composite_degree(4, 2) == 6
+        with pytest.raises(ValueError):
+            composite_degree(0, 2)
+
+    def test_table2_machine_bounds(self):
+        # N = 16, b = 3, d = 1:  K <= (16 - 7) / 1 + 1 = 10  (sync uses 2b)
+        assert max_machines_synchronous(16, 3, 1) == 10
+        # partial sync uses 3b: K <= (16 - 10) / 1 + 1 = 7
+        assert max_machines_partially_synchronous(16, 3, 1) == 7
+
+    def test_table2_fault_bounds(self):
+        assert max_faults_synchronous(16, 4, 1) == 6   # (16 - 3 - 1) / 2
+        assert max_faults_partially_synchronous(16, 4, 1) == 4  # (16 - 3 - 1) / 3
+
+    def test_fault_bounds_infeasible(self):
+        assert max_faults_synchronous(4, 8, 2) == -1

@@ -1,0 +1,152 @@
+"""Unit tests for the replication baselines and client output acceptance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SecurityViolation
+from repro.machine.library import bank_account_machine, quadratic_market_machine
+from repro.net.byzantine import RandomGarbageBehavior, SilentBehavior
+from repro.replication.client import OutputCollector, majority_value
+from repro.replication.full import FullReplicationSMR
+from repro.replication.partial import PartialReplicationSMR
+
+
+class TestOutputCollector:
+    def test_majority_value(self):
+        assert majority_value([(1,), (1,), (2,)]) == (1,)
+        assert majority_value([(1,), (2,)]) is None
+        assert majority_value([]) is None
+
+    def test_threshold_acceptance(self):
+        collector = OutputCollector(machine_index=0, round_index=0)
+        collector.add_response("a", np.array([5]))
+        collector.add_response("b", np.array([5]))
+        collector.add_response("c", np.array([9]))
+        assert collector.accept_with_threshold(2) == (5,)
+        assert collector.accept_with_threshold(3) is None
+        assert collector.accept_majority() == (5,)
+
+    def test_verify_against_raises_on_wrong_accepted_value(self):
+        collector = OutputCollector(machine_index=0, round_index=0)
+        collector.add_response("a", np.array([9]))
+        collector.add_response("b", np.array([9]))
+        with pytest.raises(SecurityViolation):
+            collector.verify_against(np.array([5]), threshold=2)
+
+    def test_verify_against_true_when_correct(self):
+        collector = OutputCollector(machine_index=0, round_index=0)
+        collector.add_response("a", np.array([5]))
+        assert collector.verify_against(np.array([5]), threshold=1)
+
+
+def _node_ids(n):
+    return [f"node-{i}" for i in range(n)]
+
+
+class TestFullReplication:
+    def test_honest_round_correct_and_states_advance(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        engine = FullReplicationSMR(machine, 3, _node_ids(5))
+        commands = np.array([[1, 1], [2, 2], [3, 3]])
+        result = engine.execute_round(commands)
+        assert result.correct
+        assert result.outputs.tolist() == commands.tolist()
+        assert engine.states.tolist() == commands.tolist()
+        # second round accumulates
+        result2 = engine.execute_round(commands)
+        assert result2.outputs.tolist() == (2 * commands).tolist()
+
+    def test_tolerates_minority_faults(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        behaviors = {"node-0": RandomGarbageBehavior(), "node-1": RandomGarbageBehavior()}
+        engine = FullReplicationSMR(machine, 2, _node_ids(5), behaviors, np.random.default_rng(0))
+        result = engine.execute_round(np.array([[4], [5]]))
+        assert result.correct
+
+    def test_majority_faults_break_it(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        behaviors = {f"node-{i}": SilentBehavior() for i in range(3)}
+        engine = FullReplicationSMR(machine, 2, _node_ids(5), behaviors, np.random.default_rng(0))
+        result = engine.execute_round(np.array([[4], [5]]))
+        # With 3 of 5 silent, only 2 responses arrive < threshold b+1 = 4.
+        assert not result.correct
+
+    def test_security_bound_and_storage(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        engine = FullReplicationSMR(machine, 2, _node_ids(9))
+        assert engine.security_bound() == 4
+        assert engine.security_bound(partially_synchronous=True) == 2
+        assert engine.storage_efficiency == 1.0
+
+    def test_ops_per_node_scale_with_k(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        small = FullReplicationSMR(machine, 2, _node_ids(4))
+        large = FullReplicationSMR(
+            bank_account_machine(big_field, num_accounts=1), 8, _node_ids(4)
+        )
+        ops_small = small.execute_round(np.ones((2, 1), dtype=int)).mean_ops_per_node
+        ops_large = large.execute_round(np.ones((8, 1), dtype=int)).mean_ops_per_node
+        assert ops_large > ops_small
+
+    def test_command_shape_validation(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        engine = FullReplicationSMR(machine, 2, _node_ids(3))
+        with pytest.raises(ConfigurationError):
+            engine.execute_round(np.zeros((3, 2), dtype=int))
+
+
+class TestPartialReplication:
+    def test_group_partition(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        engine = PartialReplicationSMR(machine, 3, _node_ids(9))
+        assert engine.group_size == 3
+        assert engine.group_of("node-0") == 0
+        assert engine.group_of("node-8") == 2
+
+    def test_requires_k_divides_n(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        with pytest.raises(ConfigurationError):
+            PartialReplicationSMR(machine, 3, _node_ids(10))
+
+    def test_honest_round_correct(self, big_field):
+        machine = quadratic_market_machine(big_field)
+        engine = PartialReplicationSMR(machine, 2, _node_ids(6))
+        result = engine.execute_round(np.array([[1, 2], [3, 4]]))
+        assert result.correct
+
+    def test_security_collapses_to_group_majority(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        # 8 nodes, 4 machines -> groups of 2; a single fault in a group breaks it
+        # (majority of 2 requires both nodes to agree).
+        behaviors = {"node-0": RandomGarbageBehavior()}
+        engine = PartialReplicationSMR(machine, 4, _node_ids(8), behaviors, np.random.default_rng(0))
+        result = engine.execute_round(np.ones((4, 1), dtype=int))
+        assert not result.correct
+        assert engine.security_bound() == 0
+
+    def test_same_faults_spread_across_groups_are_harmless(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        # 12 nodes, 3 machines -> groups of 4; one fault per group tolerated.
+        behaviors = {
+            "node-0": RandomGarbageBehavior(),
+            "node-4": RandomGarbageBehavior(),
+            "node-8": RandomGarbageBehavior(),
+        }
+        engine = PartialReplicationSMR(machine, 3, _node_ids(12), behaviors, np.random.default_rng(0))
+        result = engine.execute_round(np.ones((3, 1), dtype=int))
+        assert result.correct
+
+    def test_storage_efficiency_is_k(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        engine = PartialReplicationSMR(machine, 4, _node_ids(8))
+        assert engine.storage_efficiency == 4.0
+
+    def test_throughput_advantage_over_full_replication(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=1)
+        k, n = 4, 8
+        commands = np.ones((k, 1), dtype=int)
+        full = FullReplicationSMR(
+            bank_account_machine(big_field, num_accounts=1), k, _node_ids(n)
+        ).execute_round(commands)
+        partial = PartialReplicationSMR(machine, k, _node_ids(n)).execute_round(commands)
+        assert partial.throughput(k) > full.throughput(k)
