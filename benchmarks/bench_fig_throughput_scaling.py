@@ -3,15 +3,33 @@
 Measures per-node execution-phase operation counts across network sizes and
 compares the distributed-coding path (every node decodes) against the
 delegated path (single worker, INTERMIX verification) and the paper's
-quasilinear model curve ``N log^2 N log log N``.
+quasilinear model curve ``N log^2 N log log N``.  The measured rows run
+through the batched cached-matrix pipeline by default
+(``throughput_rows(batched=...)`` flips back to the scalar protocol), and
+``test_batched_pipeline_speedup_bit_identical`` checks the pipeline contract:
+identical outputs, >= 3x wall-clock at the largest configuration.
 """
 
+import time
+
+import numpy as np
+
 from repro.analysis.complexity import quasilinear_coding_cost
+from repro.analysis.metrics import csm_supported_machines
+from repro.core.config import CSMConfig
+from repro.core.execution import CodedExecutionEngine
 from repro.experiments import scaling
+from repro.machine.library import bank_account_machine
+from repro.net.byzantine import RandomGarbageBehavior
 
 
 def test_throughput_rows_distributed_vs_delegated(benchmark):
-    rows = benchmark(scaling.throughput_rows, network_sizes=(8, 16, 24), fault_fraction=0.2)
+    rows = benchmark(
+        scaling.throughput_rows,
+        network_sizes=(8, 16, 24),
+        fault_fraction=0.2,
+        batched=True,
+    )
     for row in rows:
         # Non-worker nodes in the delegated path do asymptotically less work
         # than nodes in the distributed path (which each run a full decode).
@@ -19,6 +37,92 @@ def test_throughput_rows_distributed_vs_delegated(benchmark):
     # The distributed per-node cost grows super-linearly with N (it contains a
     # textbook RS decode), while the model curve stays quasilinear.
     assert rows[-1]["distributed_ops_per_node"] > rows[0]["distributed_ops_per_node"]
+
+
+def test_batched_amortises_ops_vs_scalar(benchmark):
+    """The batch path charges far fewer decode operations per round."""
+
+    def both():
+        batched = scaling.throughput_rows(
+            network_sizes=(16, 24), fault_fraction=0.2, batched=True
+        )
+        scalar = scaling.throughput_rows(
+            network_sizes=(16, 24), fault_fraction=0.2, batched=False
+        )
+        return batched, scalar
+
+    batched, scalar = benchmark(both)
+    for fast, slow in zip(batched, scalar):
+        assert fast["distributed_ops_per_node"] < slow["distributed_ops_per_node"] / 5
+
+
+def _build_engine(field, machine, num_nodes, num_machines, num_faults, seed):
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    behaviors = {node_ids[i]: RandomGarbageBehavior() for i in range(num_faults)}
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        degree=machine.degree,
+        num_faults=num_faults,
+    )
+    return CodedExecutionEngine(
+        config, machine, node_ids, behaviors, np.random.default_rng(seed)
+    )
+
+
+def test_batched_pipeline_speedup_bit_identical(field):
+    """Largest configuration: batched >= 3x faster, outputs bit-identical.
+
+    Both engines start from the same seed, face the same Byzantine nodes and
+    consume the random stream in the same order, so every round's outputs,
+    states, correctness flag and flagged error nodes must match exactly; the
+    batch path only amortises the encode/decode linear algebra.
+    """
+    machine = bank_account_machine(field, num_accounts=2)
+    num_nodes = 32  # the largest network size of this figure
+    fault_fraction = 0.2
+    num_faults = int(fault_fraction * num_nodes)
+    num_machines = csm_supported_machines(num_nodes, fault_fraction, machine.degree)
+    num_rounds = 8
+    commands = np.random.default_rng(7).integers(
+        1, 1000, size=(num_rounds, num_machines, machine.command_dim)
+    )
+
+    # Min over a few attempts: the ~6x architectural gap leaves a wide margin
+    # over the 3x floor, and the minimum filters transient scheduler noise on
+    # shared CI runners.
+    scalar_time = float("inf")
+    batch_time = float("inf")
+    for attempt in range(3):
+        scalar_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        scalar_results = [scalar_engine.execute_round(c) for c in commands]
+        scalar_time = min(scalar_time, time.perf_counter() - start)
+
+        batch_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        batch_results = batch_engine.execute_rounds(commands)
+        batch_time = min(batch_time, time.perf_counter() - start)
+
+    for scalar_round, batch_round in zip(scalar_results, batch_results):
+        assert np.array_equal(scalar_round.outputs, batch_round.outputs)
+        assert np.array_equal(scalar_round.states, batch_round.states)
+        assert scalar_round.correct == batch_round.correct
+        assert (
+            scalar_round.diagnostics["error_nodes"]
+            == batch_round.diagnostics["error_nodes"]
+        )
+    assert scalar_round.correct  # the configuration is inside the bound
+    speedup = scalar_time / batch_time
+    assert speedup >= 3.0, (
+        f"batched pipeline speedup {speedup:.1f}x below the 3x floor "
+        f"(scalar {scalar_time:.3f}s, batched {batch_time:.3f}s)"
+    )
 
 
 def test_quasilinear_model_curve_shape(benchmark):

@@ -36,6 +36,8 @@ class MeasuredPerformance:
     storage_efficiency: float
     mean_ops_per_node: float
     throughput: float
+    failed_rounds: int = 0
+    batched: bool = False
 
     def as_row(self) -> dict:
         return {
@@ -47,6 +49,7 @@ class MeasuredPerformance:
             "storage_efficiency": self.storage_efficiency,
             "ops_per_node": self.mean_ops_per_node,
             "throughput": self.throughput,
+            "failed_rounds": self.failed_rounds,
         }
 
 
@@ -55,9 +58,15 @@ def _fault_behaviors(
     behavior_factory=RandomGarbageBehavior,
 ) -> dict[str, ByzantineBehavior]:
     """Pick ``num_faults`` nodes (at random) and give them a faulty behaviour."""
+    if num_faults > len(node_ids):
+        raise ValueError(
+            f"num_faults {num_faults} exceeds the number of nodes "
+            f"{len(node_ids)}; refusing to silently run with fewer faults "
+            "than requested"
+        )
     if num_faults <= 0:
         return {}
-    chosen = rng.choice(len(node_ids), size=min(num_faults, len(node_ids)), replace=False)
+    chosen = rng.choice(len(node_ids), size=num_faults, replace=False)
     return {node_ids[int(i)]: behavior_factory() for i in chosen}
 
 
@@ -69,6 +78,65 @@ def _workload(machine: StateMachine, num_machines: int, rounds: int, rng: np.ran
     ]
 
 
+def _execute_workload(
+    engine, workload: list[np.ndarray], batched: bool
+) -> tuple[bool, float, int]:
+    """Run the workload; every executed round counts.
+
+    Returns ``(all_correct, mean_ops_per_node, failed_rounds)``.  A round is
+    *failed* when its engine call raises (:class:`SecurityViolation` /
+    :class:`DecodingError`) or when it returns an incorrect result (wrong
+    accepted output, decoding failure past the radius).  Failed rounds stay
+    in the denominator: nodes spent the work whether or not the clients got
+    a correct answer, and dropping them used to bias ``mean_ops_per_node``
+    (and hence throughput) upward exactly when faults bite.  For rounds that
+    raise, per-node operations are recovered from the engine's node counters
+    when the engine keeps them (CSM); otherwise the round is reported in
+    ``failed_rounds`` but cannot contribute operations.
+    """
+    all_correct = True
+    ops: list[float] = []
+    failed_rounds = 0
+    if batched:
+        try:
+            results = engine.execute_rounds(np.stack(workload))
+        except (SecurityViolation, DecodingError):
+            # Same contract as the scalar branch: a raising engine loses its
+            # per-round records, but every requested round is still reported
+            # as executed-and-failed (current engines record failures in the
+            # RoundResult instead of raising, so this is a safety net).
+            all_correct = False
+            failed_rounds = len(workload)
+            nodes = getattr(engine, "nodes", None)
+            if nodes:
+                ops.append(float(np.mean([node.counter.total for node in nodes])))
+            results = []
+        for result in results:
+            if not result.correct:
+                failed_rounds += 1
+                all_correct = False
+            ops.append(result.mean_ops_per_node)
+    else:
+        for commands in workload:
+            try:
+                result = engine.execute_round(commands)
+            except (SecurityViolation, DecodingError):
+                failed_rounds += 1
+                all_correct = False
+                nodes = getattr(engine, "nodes", None)
+                if nodes:
+                    ops.append(
+                        float(np.mean([node.counter.total for node in nodes]))
+                    )
+                continue
+            if not result.correct:
+                failed_rounds += 1
+                all_correct = False
+            ops.append(result.mean_ops_per_node)
+    mean_ops = float(np.mean(ops)) if ops else 0.0
+    return all_correct, mean_ops, failed_rounds
+
+
 def measure_full_replication(
     machine: StateMachine,
     num_nodes: int,
@@ -76,23 +144,16 @@ def measure_full_replication(
     num_faults: int,
     rounds: int = 3,
     seed: int = 0,
+    batched: bool = False,
 ) -> MeasuredPerformance:
     """Run full replication and measure correctness / ops / throughput."""
     rng = np.random.default_rng(seed)
     node_ids = [f"node-{i}" for i in range(num_nodes)]
     behaviors = _fault_behaviors(node_ids, num_faults, rng)
     engine = FullReplicationSMR(machine, num_machines, node_ids, behaviors, rng)
-    correct = True
-    ops = []
-    for commands in _workload(machine, num_machines, rounds, rng):
-        try:
-            result = engine.execute_round(commands)
-        except SecurityViolation:
-            correct = False
-            continue
-        correct = correct and result.correct
-        ops.append(result.mean_ops_per_node)
-    mean_ops = float(np.mean(ops)) if ops else 0.0
+    correct, mean_ops, failed_rounds = _execute_workload(
+        engine, _workload(machine, num_machines, rounds, rng), batched
+    )
     return MeasuredPerformance(
         scheme="full-replication",
         num_nodes=num_nodes,
@@ -103,6 +164,8 @@ def measure_full_replication(
         storage_efficiency=engine.storage_efficiency,
         mean_ops_per_node=mean_ops,
         throughput=num_machines / mean_ops if mean_ops else float("inf"),
+        failed_rounds=failed_rounds,
+        batched=batched,
     )
 
 
@@ -114,6 +177,7 @@ def measure_partial_replication(
     rounds: int = 3,
     seed: int = 0,
     concentrate_faults: bool = True,
+    batched: bool = False,
 ) -> MeasuredPerformance:
     """Run partial replication; faults are concentrated on group 0 by default.
 
@@ -125,24 +189,19 @@ def measure_partial_replication(
     rng = np.random.default_rng(seed)
     node_ids = [f"node-{i}" for i in range(num_nodes)]
     if concentrate_faults:
+        if num_faults > num_nodes:
+            raise ValueError(
+                f"num_faults {num_faults} exceeds the number of nodes {num_nodes}"
+            )
         behaviors = {
-            node_ids[i]: RandomGarbageBehavior()
-            for i in range(min(num_faults, num_nodes))
+            node_ids[i]: RandomGarbageBehavior() for i in range(num_faults)
         }
     else:
         behaviors = _fault_behaviors(node_ids, num_faults, rng)
     engine = PartialReplicationSMR(machine, num_machines, node_ids, behaviors, rng)
-    correct = True
-    ops = []
-    for commands in _workload(machine, num_machines, rounds, rng):
-        try:
-            result = engine.execute_round(commands)
-        except SecurityViolation:
-            correct = False
-            continue
-        correct = correct and result.correct
-        ops.append(result.mean_ops_per_node)
-    mean_ops = float(np.mean(ops)) if ops else 0.0
+    correct, mean_ops, failed_rounds = _execute_workload(
+        engine, _workload(machine, num_machines, rounds, rng), batched
+    )
     return MeasuredPerformance(
         scheme="partial-replication",
         num_nodes=num_nodes,
@@ -153,6 +212,8 @@ def measure_partial_replication(
         storage_efficiency=engine.storage_efficiency,
         mean_ops_per_node=mean_ops,
         throughput=num_machines / mean_ops if mean_ops else float("inf"),
+        failed_rounds=failed_rounds,
+        batched=batched,
     )
 
 
@@ -165,6 +226,7 @@ def measure_csm(
     seed: int = 0,
     partially_synchronous: bool = False,
     behavior_factory=RandomGarbageBehavior,
+    batched: bool = False,
 ) -> MeasuredPerformance:
     """Run CSM's coded execution and measure correctness / ops / throughput.
 
@@ -172,6 +234,11 @@ def measure_csm(
     configuration is still built with ``num_faults=0`` for feasibility and
     the faults are injected anyway — measuring what actually happens past the
     bound (decoding failures) is part of the Table 2 experiment.
+
+    ``batched=True`` drives the engine through the cached-matrix
+    ``execute_rounds`` pipeline (bit-identical outputs, amortised
+    encode/decode cost); the default keeps the scalar round-by-round path so
+    existing experiments measure the textbook protocol.
     """
     rng = np.random.default_rng(seed)
     config_faults = num_faults
@@ -196,17 +263,9 @@ def measure_csm(
     node_ids = [f"node-{i}" for i in range(num_nodes)]
     behaviors = _fault_behaviors(node_ids, num_faults, rng, behavior_factory)
     engine = CodedExecutionEngine(config, machine, node_ids, behaviors, rng)
-    correct = True
-    ops = []
-    for commands in _workload(machine, num_machines, rounds, rng):
-        try:
-            result = engine.execute_round(commands)
-        except DecodingError:
-            correct = False
-            continue
-        correct = correct and result.correct
-        ops.append(result.mean_ops_per_node)
-    mean_ops = float(np.mean(ops)) if ops else 0.0
+    correct, mean_ops, failed_rounds = _execute_workload(
+        engine, _workload(machine, num_machines, rounds, rng), batched
+    )
     return MeasuredPerformance(
         scheme="coded-state-machine",
         num_nodes=num_nodes,
@@ -217,6 +276,8 @@ def measure_csm(
         storage_efficiency=engine.storage_efficiency,
         mean_ops_per_node=mean_ops,
         throughput=num_machines / mean_ops if mean_ops else float("inf"),
+        failed_rounds=failed_rounds,
+        batched=batched,
     )
 
 

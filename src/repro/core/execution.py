@@ -30,12 +30,12 @@ from repro.lcc.encoder import CodedStateEncoder
 from repro.lcc.scheme import LagrangeScheme
 from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior, HonestBehavior
-from repro.replication.base import RoundResult
+from repro.replication.base import BatchExecutionMixin, RoundResult
 from repro.core.config import CSMConfig
 from repro.core.node import CSMNode
 
 
-class CodedExecutionEngine:
+class CodedExecutionEngine(BatchExecutionMixin):
     """Executes CSM rounds over an in-memory bank of nodes."""
 
     def __init__(
@@ -91,6 +91,10 @@ class CodedExecutionEngine:
                 )
             )
         self.round_index = 0
+        # Node indices caught reporting erroneous results; the batched decode
+        # fast path avoids picking these as interpolation pivots (see
+        # CodedResultDecoder.decode_fast).
+        self._suspects: set[int] = set()
 
     # -- structural metrics --------------------------------------------------------------
     @property
@@ -122,19 +126,9 @@ class CodedExecutionEngine:
     # -- round execution ------------------------------------------------------------------
     def execute_round(self, commands: np.ndarray) -> RoundResult:
         """Run the coded execution phase for one agreed command vector."""
-        commands_arr = self.field.array(commands)
-        expected_shape = (self.num_machines, self.machine.command_dim)
-        if commands_arr.shape != expected_shape:
-            raise ConfigurationError(
-                f"expected commands of shape {expected_shape}, got {commands_arr.shape}"
-            )
+        commands_arr = self._check_commands(commands)
         for node in self.nodes:
             node.reset_counter()
-
-        # Reference execution (ground truth used only for verification).
-        reference_states, reference_outputs = self._reference_step(commands_arr)
-        reference_results = np.concatenate([reference_states, reference_outputs], axis=1)
-
         # Step 1-2: every node encodes its command and computes on coded data.
         true_results = np.zeros(
             (self.num_nodes, self.machine.transition.result_dim), dtype=np.int64
@@ -142,14 +136,92 @@ class CodedExecutionEngine:
         for node in self.nodes:
             coded_command = node.encode_command(commands_arr)
             true_results[node.node_index] = node.execute_coded(coded_command)
+        return self._complete_round(commands_arr, true_results, batched=False)
+
+    def execute_rounds(self, commands_batch: np.ndarray) -> list[RoundResult]:
+        """Run a batch of ``B`` rounds through the cached-matrix pipeline.
+
+        ``commands_batch`` has shape ``(B, K, command_dim)`` (a single
+        ``(K, command_dim)`` round is promoted to a batch of one).  Compared
+        with calling :meth:`execute_round` ``B`` times:
+
+        * all ``B * N`` coded commands come from **one** ``GF(p)``
+          matrix–matrix product with the cached coefficient matrix;
+        * decoding runs through :meth:`CodedResultDecoder.decode_fast` with a
+          persistent suspect set, so a stable fault pattern costs one scalar
+          Berlekamp–Welch decode for the whole batch instead of one per
+          component per round;
+        * the honest nodes' coded-state refresh is one matrix product per
+          round instead of ``N - b`` per-node inner-product loops.
+
+        The coded execution itself stays sequential — round ``t + 1``
+        operates on coded states refreshed from round ``t``'s decode, exactly
+        as in the scalar path — and every returned ``RoundResult`` carries
+        outputs, states and correctness flags bit-identical to the scalar
+        path (operation *counts* are lower on the decode side: that cost
+        reduction is precisely what the batched pipeline buys).
+
+        Per-node decoding (``decode_at_every_node=True``) models per-receiver
+        equivocation and falls back to the scalar path unchanged.
+        """
+        batch_arr = self._validate_batch(commands_batch)
+        if self.decode_at_every_node:
+            return [self.execute_round(batch_arr[b]) for b in range(batch_arr.shape[0])]
+        # Stage 1: encode every round's commands in one matrix product.  The
+        # product itself is uncounted; each node is charged the operations it
+        # would have spent encoding its own coded command (the batched
+        # pipeline changes who *performs* the multiply, not the per-node
+        # protocol cost model).
+        coded_commands = self.encoder.encode_batch(batch_arr)
+        results: list[RoundResult] = []
+        cmd_dim = self.machine.command_dim
+        for b in range(batch_arr.shape[0]):
+            commands_arr = batch_arr[b]
+            for node in self.nodes:
+                node.reset_counter()
+                node.counter.mul(cmd_dim * self.num_machines)
+                node.counter.add(cmd_dim * (self.num_machines - 1))
+            true_results = np.zeros(
+                (self.num_nodes, self.machine.transition.result_dim), dtype=np.int64
+            )
+            for node in self.nodes:
+                true_results[node.node_index] = node.execute_coded(
+                    coded_commands[b, node.node_index]
+                )
+            results.append(
+                self._complete_round(commands_arr, true_results, batched=True)
+            )
+        return results
+
+    def _check_commands(self, commands: np.ndarray) -> np.ndarray:
+        commands_arr = self.field.array(commands)
+        expected_shape = (self.num_machines, self.machine.command_dim)
+        if commands_arr.shape != expected_shape:
+            raise ConfigurationError(
+                f"expected commands of shape {expected_shape}, got {commands_arr.shape}"
+            )
+        return commands_arr
+
+    def _complete_round(
+        self, commands_arr: np.ndarray, true_results: np.ndarray, batched: bool
+    ) -> RoundResult:
+        """Steps 3-5 shared by the scalar and batched paths: decode, update, account."""
+        # Reference execution (ground truth used only for verification).
+        reference_states, reference_outputs = self._reference_step(commands_arr)
+        reference_results = np.concatenate([reference_states, reference_outputs], axis=1)
 
         # Step 3: gather what each node reports and decode.
         decode_counter = OperationCounter()
         diagnostics: dict = {}
         try:
-            decoded_outputs, error_nodes = self._decode_phase(
-                true_results, decode_counter, diagnostics
-            )
+            if batched:
+                decoded_outputs, error_nodes = self._decode_phase_fast(
+                    true_results, decode_counter
+                )
+            else:
+                decoded_outputs, error_nodes = self._decode_phase(
+                    true_results, decode_counter, diagnostics
+                )
             decoding_failed = False
         except DecodingError as exc:
             decoded_outputs = None
@@ -169,8 +241,11 @@ class CodedExecutionEngine:
 
         # Step 4: honest nodes refresh their coded states from the decoded states.
         if not decoding_failed:
-            for node in self.honest_nodes():
-                node.update_coded_state(decoded_states)
+            if batched:
+                self._update_honest_states_batched(decoded_states)
+            else:
+                for node in self.honest_nodes():
+                    node.update_coded_state(decoded_states)
 
         # Operation accounting: every honest node performs the (identical)
         # decoding, so the decode cost is charged to each of them.
@@ -193,6 +268,7 @@ class CodedExecutionEngine:
                 "num_faulty": self.num_faulty,
                 "decoding_failed": decoding_failed,
                 "decode_ops": decode_counter.total,
+                "batched": batched,
             }
         )
         return RoundResult(
@@ -203,6 +279,20 @@ class CodedExecutionEngine:
             ops_per_node=ops_per_node,
             diagnostics=diagnostics,
         )
+
+    def _update_honest_states_batched(self, decoded_states: np.ndarray) -> None:
+        """Refresh every honest node's coded state with one matrix product.
+
+        ``C @ decoded_states`` yields all ``N`` next coded states at once;
+        each honest node installs its own row and is charged the operations
+        of the per-node re-encoding it replaces (``chi_i`` of equation (1)).
+        """
+        coded = self.field.matmul(self.scheme.coefficient_matrix, decoded_states)
+        state_dim = self.machine.state_dim
+        for node in self.honest_nodes():
+            node.storage.replace(coded[node.node_index])
+            node.counter.mul(state_dim * self.num_machines)
+            node.counter.add(state_dim * (self.num_machines - 1))
 
     # -- internals ----------------------------------------------------------------------------
     def _reference_step(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -248,6 +338,23 @@ class CodedExecutionEngine:
             else:
                 stacked = np.vstack([entry for entry in reported])
                 decoded = self.decoder.decode(stacked)
+        finally:
+            self.field.attach_counter(None)
+        return decoded.outputs, decoded.error_nodes
+
+    def _decode_phase_fast(
+        self, true_results: np.ndarray, decode_counter: OperationCounter
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Batched-pipeline decode: cached matrices + persistent suspect set."""
+        reported = self._reported_results(true_results, recipient=None)
+        self.field.attach_counter(decode_counter)
+        try:
+            if any(entry is None for entry in reported):
+                decoded = self.decoder.decode_fast(reported, self._suspects)
+            else:
+                decoded = self.decoder.decode_fast(
+                    np.vstack(reported), self._suspects
+                )
         finally:
             self.field.attach_counter(None)
         return decoded.outputs, decoded.error_nodes

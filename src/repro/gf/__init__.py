@@ -31,6 +31,14 @@ from repro.gf.lagrange import (
 )
 from repro.gf.vandermonde import vandermonde_matrix, vandermonde_solve
 from repro.gf.linalg import gf_matmul, gf_matvec, gf_solve, gf_inverse_matrix, gf_rank
+from repro.gf.matrix_cache import (
+    cached_interpolation_matrix,
+    cached_lagrange_coefficient_matrix,
+    cached_transfer_matrix,
+    cached_vandermonde,
+    clear_matrix_cache,
+    matrix_cache_info,
+)
 from repro.gf.fast_eval import SubproductTree, multi_point_evaluate
 
 __all__ = [
@@ -54,6 +62,12 @@ __all__ = [
     "gf_solve",
     "gf_inverse_matrix",
     "gf_rank",
+    "cached_interpolation_matrix",
+    "cached_lagrange_coefficient_matrix",
+    "cached_transfer_matrix",
+    "cached_vandermonde",
+    "clear_matrix_cache",
+    "matrix_cache_info",
     "SubproductTree",
     "multi_point_evaluate",
 ]

@@ -193,6 +193,28 @@ class Field(ABC):
             inv_acc = self.mul(inv_acc, int(flat[i]))
         return out.reshape(arr.shape)
 
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix–matrix product over the field.
+
+        The generic implementation runs row-by-column :meth:`dot` products;
+        subclasses with vectorised arithmetic (see
+        :meth:`repro.gf.prime_field.PrimeField.matmul`) override it with a
+        numpy formulation that performs the identical field operations (and
+        charges the identical operation counts) without per-element Python
+        dispatch.  This is the workhorse of the batched coded-round pipeline.
+        """
+        a_arr = self.array(a)
+        b_arr = self.array(b)
+        if a_arr.ndim != 2 or b_arr.ndim != 2 or a_arr.shape[1] != b_arr.shape[0]:
+            raise FieldError(
+                f"shape mismatch for matmul: {a_arr.shape} @ {b_arr.shape}"
+            )
+        out = np.zeros((a_arr.shape[0], b_arr.shape[1]), dtype=np.int64)
+        for i in range(a_arr.shape[0]):
+            for j in range(b_arr.shape[1]):
+                out[i, j] = self.dot(a_arr[i, :], b_arr[:, j])
+        return out
+
     def dot(self, a: np.ndarray, b: np.ndarray):
         """Inner product of two equal-length vectors of field elements."""
         a_arr = self.array(a)

@@ -30,15 +30,8 @@ def gf_matvec(field: Field, matrix: np.ndarray, vector: np.ndarray) -> np.ndarra
 
 
 def gf_matmul(field: Field, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix-matrix product over the field."""
-    a_arr = field.array(a)
-    b_arr = field.array(b)
-    if a_arr.ndim != 2 or b_arr.ndim != 2 or a_arr.shape[1] != b_arr.shape[0]:
-        raise FieldError(f"shape mismatch for matmul: {a_arr.shape} @ {b_arr.shape}")
-    out = np.zeros((a_arr.shape[0], b_arr.shape[1]), dtype=np.int64)
-    for j in range(b_arr.shape[1]):
-        out[:, j] = gf_matvec(field, a_arr, b_arr[:, j])
-    return out
+    """Matrix-matrix product over the field (delegates to :meth:`Field.matmul`)."""
+    return field.matmul(a, b)
 
 
 def _row_reduce(

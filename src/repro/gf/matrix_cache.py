@@ -1,0 +1,145 @@
+"""Cached encode/decode matrices for the batched coded-round pipeline.
+
+Every Reed–Solomon encode is the linear map ``codeword = V @ coeffs`` with
+``V[i, j] = x_i ** j`` (a Vandermonde matrix over the evaluation points), and
+every erasure decode of a clean word is the inverse map restricted to a set of
+survivor points.  The scalar paths rebuild these structures implicitly on
+every call (Horner evaluation, Lagrange interpolation, Berlekamp–Welch
+systems); when many rounds are processed the matrices are identical from
+round to round, so this module memoises them per
+``(field, points, dimension)`` key.  With the matrices cached, encoding a
+batch of ``B`` rounds collapses to one ``GF(p)`` matrix–matrix product and
+erasure-decoding a clean batch to two.
+
+All builders detach the field's operation counter while constructing a
+matrix: cache construction is a one-off cost that must not be charged to
+whichever round happens to trigger it (the amortised per-round cost is what
+the throughput experiments measure).
+
+The cache is process-global and unbounded; entries are small
+(``O(N * K)`` int64) and the number of distinct ``(field, points,
+dimension)`` combinations in any experiment is tiny.  ``clear_matrix_cache``
+exists for tests and long-lived services.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gf.field import Field
+from repro.gf.lagrange import lagrange_coefficient_matrix
+from repro.gf.linalg import gf_inverse_matrix
+from repro.gf.vandermonde import vandermonde_matrix
+
+_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def _field_key(field: Field) -> tuple:
+    return (type(field).__name__, field.order)
+
+
+def _canonical_points(field: Field, points: Sequence[int]) -> tuple[int, ...]:
+    return tuple(field.element(int(p)) for p in points)
+
+
+def _cached(field: Field, key: tuple, builder: Callable[[], np.ndarray]) -> np.ndarray:
+    cached = _CACHE.get(key)
+    if cached is None:
+        saved_counter = field.counter
+        field.attach_counter(None)
+        try:
+            cached = builder()
+        finally:
+            field.attach_counter(saved_counter)
+        cached.setflags(write=False)
+        _CACHE[key] = cached
+    return cached
+
+
+def cached_vandermonde(
+    field: Field, points: Sequence[int], num_columns: int
+) -> np.ndarray:
+    """The (read-only) matrix ``V[i, j] = points[i] ** j``, memoised.
+
+    This is the Reed–Solomon *encoding* matrix: ``codeword = V @ coeffs`` for
+    a message coefficient vector of length ``num_columns``.
+    """
+    pts = _canonical_points(field, points)
+    key = ("vandermonde", _field_key(field), pts, int(num_columns))
+    return _cached(
+        field, key, lambda: vandermonde_matrix(field, list(pts), int(num_columns))
+    )
+
+
+def cached_interpolation_matrix(field: Field, points: Sequence[int]) -> np.ndarray:
+    """The (read-only) inverse ``V**-1`` of the square Vandermonde at ``points``.
+
+    This is the *decoding* matrix for clean words: ``coeffs = V**-1 @ values``
+    recovers the coefficients of the unique polynomial of degree
+    ``< len(points)`` through the given evaluations.
+    """
+    pts = _canonical_points(field, points)
+    key = ("interpolation", _field_key(field), pts)
+    return _cached(
+        field,
+        key,
+        lambda: gf_inverse_matrix(field, vandermonde_matrix(field, list(pts), len(pts))),
+    )
+
+
+def cached_transfer_matrix(
+    field: Field, from_points: Sequence[int], to_points: Sequence[int]
+) -> np.ndarray:
+    """The (read-only) map from values at ``from_points`` to values at ``to_points``.
+
+    For polynomials of degree ``< len(from_points)`` the evaluations at any
+    other point set are a fixed linear map
+    ``T = V_to @ V_from**-1``; this is the matrix the batched decoder applies
+    to re-encode candidate codewords and to evaluate decoded polynomials at
+    the ``omega_k`` without materialising coefficient-form polynomials.
+    """
+    src = _canonical_points(field, from_points)
+    dst = _canonical_points(field, to_points)
+    key = ("transfer", _field_key(field), src, dst)
+
+    def build() -> np.ndarray:
+        inverse = gf_inverse_matrix(
+            field, vandermonde_matrix(field, list(src), len(src))
+        )
+        target = vandermonde_matrix(field, list(dst), len(src))
+        return field.matmul(target, inverse)
+
+    return _cached(field, key, build)
+
+
+def cached_lagrange_coefficient_matrix(
+    field: Field, omegas: Sequence[int], alphas: Sequence[int]
+) -> np.ndarray:
+    """The (read-only) ``N x K`` Lagrange coefficient matrix ``C``, memoised.
+
+    Row ``i`` holds the coefficients node ``i`` applies to encode the ``K``
+    true values into its coded value (equation (7) of the paper).
+    """
+    src = _canonical_points(field, omegas)
+    dst = _canonical_points(field, alphas)
+    key = ("lagrange-C", _field_key(field), src, dst)
+    return _cached(
+        field,
+        key,
+        lambda: lagrange_coefficient_matrix(field, list(src), list(dst)),
+    )
+
+
+def clear_matrix_cache() -> None:
+    """Drop every cached matrix (tests / long-lived processes)."""
+    _CACHE.clear()
+
+
+def matrix_cache_info() -> dict[str, int]:
+    """Cache occupancy by matrix kind (diagnostics only)."""
+    info: dict[str, int] = {}
+    for key in _CACHE:
+        info[key[0]] = info.get(key[0], 0) + 1
+    return info

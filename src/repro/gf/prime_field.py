@@ -158,6 +158,30 @@ class PrimeField(Field):
             e >>= 1
         return result
 
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised matrix product over ``GF(p)``.
+
+        Accumulates one rank-1 update per inner index: every elementwise
+        product is below ``p**2 < 2**63`` and is reduced before being added to
+        the (already canonical) accumulator, so the whole product stays in
+        ``int64``.  Operation counts match the generic row-by-column path.
+        """
+        a_arr = self.array(a)
+        b_arr = self.array(b)
+        if a_arr.ndim != 2 or b_arr.ndim != 2 or a_arr.shape[1] != b_arr.shape[0]:
+            raise FieldError(
+                f"shape mismatch for matmul: {a_arr.shape} @ {b_arr.shape}"
+            )
+        rows, inner = a_arr.shape
+        cols = b_arr.shape[1]
+        self._count_mul(rows * inner * cols)
+        self._count_add(rows * max(inner - 1, 0) * cols)
+        out = np.zeros((rows, cols), dtype=np.int64)
+        for t in range(inner):
+            out += a_arr[:, t, None] * b_arr[None, t, :] % self._p
+            out %= self._p
+        return out
+
     # -- extras ------------------------------------------------------------------------
     def powers(self, base: int, count: int) -> np.ndarray:
         """Return ``[base**0, base**1, ..., base**(count-1)]`` as an array."""

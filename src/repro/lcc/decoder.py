@@ -23,6 +23,7 @@ from repro.coding.berlekamp_welch import BerlekampWelchDecoder
 from repro.coding.erasure import ErasureDecoder
 from repro.coding.gao import GaoDecoder
 from repro.coding.reed_solomon import ReedSolomonCode
+from repro.gf.matrix_cache import cached_interpolation_matrix, cached_transfer_matrix
 from repro.gf.polynomial import Poly
 from repro.lcc.scheme import LagrangeScheme
 
@@ -113,6 +114,139 @@ class CodedResultDecoder:
             polynomials=polynomials,
             error_nodes=tuple(sorted(error_nodes)),
         )
+
+    def decode_fast(
+        self,
+        coded_results: "np.ndarray | list[np.ndarray | None]",
+        suspects: set[int] | None = None,
+    ) -> DecodedRound:
+        """Decode one round through the cached-matrix fast path.
+
+        Instead of solving a Berlekamp–Welch system per component, the fast
+        path interpolates a candidate polynomial through ``dimension`` pivot
+        rows (one cached-matrix product for all components at once), re-encodes
+        it at every point (a second product) and accepts any component whose
+        mismatch count fits the erasure/error budget ``2e <= present - K`` —
+        by the uniqueness of the codeword within that radius the candidate
+        *is* the Berlekamp–Welch answer.  Components that exceed the budget
+        (e.g. because a faulty node sat among the pivots) fall back to the
+        scalar decoders, so results are always bit-identical to
+        :meth:`decode` / :meth:`decode_partial`.
+
+        ``suspects`` is the engine's persistent set of node indices caught
+        erring in earlier components or rounds; pivots avoid them, which is
+        what reduces a faulty batch to a single scalar decode per new fault
+        pattern.  The set is updated in place with every error found.
+        """
+        if suspects is None:
+            suspects = set()
+        num_nodes = self.scheme.num_nodes
+        if isinstance(coded_results, np.ndarray):
+            matrix = self.field.array(coded_results)
+            if matrix.ndim == 1:
+                matrix = matrix.reshape(-1, 1)
+            present = list(range(matrix.shape[0]))
+        else:
+            if len(coded_results) != num_nodes:
+                raise DecodingError(
+                    f"expected {num_nodes} result slots, got {len(coded_results)}"
+                )
+            present = [i for i, entry in enumerate(coded_results) if entry is not None]
+            if not present:
+                raise DecodingError("no coded results available to decode")
+            width = self.field.array(coded_results[present[0]]).reshape(-1).shape[0]
+            matrix = np.zeros((num_nodes, width), dtype=np.int64)
+            for i in present:
+                vec = self.field.array(coded_results[i]).reshape(-1)
+                if vec.shape[0] != width:
+                    raise DecodingError(
+                        "all coded results must share the same dimension"
+                    )
+                matrix[i] = vec
+        if matrix.shape[0] != num_nodes:
+            raise DecodingError(
+                f"expected {num_nodes} coded results, got {matrix.shape[0]}"
+            )
+
+        dimension = self.code.dimension
+        full_presence = len(present) == num_nodes
+        if len(present) < dimension:
+            raise DecodingError(
+                f"only {len(present)} symbols present, need at least "
+                f"{dimension} to decode"
+            )
+        budget = len(present) - dimension
+        present_arr = np.array(present, dtype=np.int64)
+        all_points = tuple(int(a) for a in self.scheme.alphas)
+        omega_points = tuple(int(w) for w in self.scheme.omegas)
+
+        pivot: list[int] | None = None
+        reencoded = candidate_outputs = candidate_coeffs = None
+        polynomials: list[Poly] = []
+        error_nodes: set[int] = set()
+        outputs = np.zeros((self.scheme.num_machines, matrix.shape[1]), dtype=np.int64)
+        for component in range(matrix.shape[1]):
+            if pivot is None:
+                pivot = [i for i in present if i not in suspects][:dimension]
+                if len(pivot) < dimension:
+                    pivot = present[:dimension]
+                pivot_points = tuple(int(self.scheme.alphas[i]) for i in pivot)
+                to_all = cached_transfer_matrix(self.field, pivot_points, all_points)
+                to_omegas = cached_transfer_matrix(
+                    self.field, pivot_points, omega_points
+                )
+                to_coeffs = cached_interpolation_matrix(self.field, pivot_points)
+                sub = matrix[pivot, :]
+                reencoded = self.field.matmul(to_all, sub)
+                candidate_outputs = self.field.matmul(to_omegas, sub)
+                candidate_coeffs = self.field.matmul(to_coeffs, sub)
+            row_mismatch = reencoded[present_arr, component] != matrix[present_arr, component]
+            errors = [int(present_arr[j]) for j in np.nonzero(row_mismatch)[0]]
+            if 2 * len(errors) <= budget:
+                outputs[:, component] = candidate_outputs[:, component]
+                polynomials.append(Poly(self.field, candidate_coeffs[:, component]))
+                error_nodes.update(errors)
+                suspects.update(errors)
+                continue
+            # Fast path inconclusive for this component (errors among the
+            # pivots, or genuinely past the radius): scalar decode decides.
+            if full_presence:
+                decoded = self._error_decoder.decode(matrix[:, component])
+            else:
+                column: list[int | None] = [None] * num_nodes
+                for i in present:
+                    column[i] = int(matrix[i, component])
+                decoded = self._erasure_decoder.decode_with_erasures(column)
+            polynomials.append(decoded.polynomial)
+            error_nodes.update(decoded.error_positions)
+            suspects.update(decoded.error_positions)
+            outputs[:, component] = decoded.polynomial.evaluate_many(self.scheme.omegas)
+            if any(index in suspects for index in pivot):
+                pivot = None  # re-pivot away from the newly learnt suspects
+        return DecodedRound(
+            outputs=outputs,
+            polynomials=polynomials,
+            error_nodes=tuple(sorted(error_nodes)),
+        )
+
+    def decode_batch(
+        self,
+        rounds: "np.ndarray | list[np.ndarray | list[np.ndarray | None]]",
+        suspects: set[int] | None = None,
+    ) -> list[DecodedRound]:
+        """Decode a batch of rounds through the fast path with shared learning.
+
+        ``rounds`` is a ``(B, N, result_dim)`` array (full presence) or a list
+        whose entries are per-round result matrices / ``None``-marked lists
+        (partially synchronous rounds).  A single ``suspects`` set is threaded
+        through the whole batch, so a persistent fault pattern costs one
+        scalar decode in total rather than one per component per round.
+        """
+        if suspects is None:
+            suspects = set()
+        if isinstance(rounds, np.ndarray) and rounds.ndim == 2:
+            rounds = rounds[None, :, :]
+        return [self.decode_fast(entry, suspects) for entry in rounds]
 
     def decode_partial(
         self, coded_results: list[np.ndarray | None]

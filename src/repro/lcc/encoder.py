@@ -43,6 +43,29 @@ class CodedStateEncoder:
         """Encode the input for a single node (one row of the matrix path)."""
         return self.scheme.encode_for_node(node_index, values)
 
+    def encode_batch(self, values: np.ndarray) -> np.ndarray:
+        """Encode ``B`` rounds at once: ``(B, K, dim) -> (B, N, dim)``.
+
+        The batch is flattened to a single ``(K, B * dim)`` matrix so that
+        encoding all ``B`` rounds is one ``GF(p)`` matrix–matrix product with
+        the cached coefficient matrix — this is the pipeline's replacement
+        for ``B`` rounds of per-node inner-product encoding, and every
+        ``[b, i, :]`` slice is bit-identical to what node ``i`` would have
+        computed for round ``b`` on its own.
+        """
+        arr = self.field.array(values)
+        if arr.ndim == 2:
+            arr = arr[None, :, :]
+        if arr.ndim != 3 or arr.shape[1] != self.scheme.num_machines:
+            raise FieldError(
+                f"expected a (batch, K={self.scheme.num_machines}, dim) array, "
+                f"got {arr.shape}"
+            )
+        batch, _, dim = arr.shape
+        flat = arr.transpose(1, 0, 2).reshape(self.scheme.num_machines, batch * dim)
+        coded = self.field.matmul(self.scheme.coefficient_matrix, flat)
+        return coded.reshape(self.scheme.num_nodes, batch, dim).transpose(1, 0, 2)
+
     # -- centralised (worker) path ------------------------------------------------------
     def encode_via_interpolation(self, values: np.ndarray) -> np.ndarray:
         """Encode by polynomial interpolation + multi-point evaluation.

@@ -18,8 +18,8 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, FieldError
 from repro.gf.field import Field
-from repro.gf.lagrange import lagrange_coefficient_matrix
 from repro.gf.linalg import gf_matvec
+from repro.gf.matrix_cache import cached_lagrange_coefficient_matrix
 
 
 class LagrangeScheme:
@@ -86,9 +86,14 @@ class LagrangeScheme:
     # -- coefficient matrix ---------------------------------------------------------
     @property
     def coefficient_matrix(self) -> np.ndarray:
-        """The ``N x K`` matrix ``C`` with ``coded = C @ true`` (lazily built)."""
+        """The ``N x K`` matrix ``C`` with ``coded = C @ true``.
+
+        Served from the process-wide matrix cache so that many engines (and
+        many batches) over the same point geometry share one build.  The
+        returned array is read-only; ``coefficient_row`` hands out copies.
+        """
         if self._coefficient_matrix is None:
-            self._coefficient_matrix = lagrange_coefficient_matrix(
+            self._coefficient_matrix = cached_lagrange_coefficient_matrix(
                 self.field, self.omegas, self.alphas
             )
         return self._coefficient_matrix
@@ -122,10 +127,7 @@ class LagrangeScheme:
             raise FieldError(
                 f"expected {self.num_machines} rows (one per machine), got {arr.shape[0]}"
             )
-        out = np.zeros((self.num_nodes, arr.shape[1]), dtype=np.int64)
-        for component in range(arr.shape[1]):
-            out[:, component] = self.encode_scalars(arr[:, component])
-        return out
+        return self.field.matmul(self.coefficient_matrix, arr)
 
     def encode_for_node(self, node_index: int, values: np.ndarray) -> np.ndarray:
         """Encode ``K`` vectors into the single coded vector of one node."""

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 
 @dataclass
 class RoundResult:
@@ -65,3 +67,36 @@ class RoundResult:
         if self.mean_ops_per_node == 0:
             return float("inf")
         return num_machines / self.mean_ops_per_node
+
+
+class BatchExecutionMixin:
+    """Default ``execute_rounds`` surface shared by every execution engine.
+
+    The coded engine overrides this with the cached-matrix pipeline; the
+    replication baselines execute every machine step at Python level with
+    per-replica state dependencies, so there is no linear-algebraic structure
+    to amortise across rounds — the mixin validates the batch once and runs
+    the scalar rounds in order, letting harnesses and benchmarks drive every
+    scheme through the same batched entry point.
+    """
+
+    def _validate_batch(self, commands_batch: np.ndarray) -> np.ndarray:
+        """Canonicalise a command batch to ``(B, K, command_dim)``.
+
+        A single ``(K, command_dim)`` round is promoted to a batch of one.
+        """
+        arr = self.field.array(commands_batch)
+        if arr.ndim == 2:
+            arr = arr[None, :, :]
+        expected = (self.num_machines, self.machine.command_dim)
+        if arr.ndim != 3 or arr.shape[1:] != expected:
+            raise ConfigurationError(
+                f"expected a command batch of shape (B, {expected[0]}, {expected[1]}), "
+                f"got {arr.shape}"
+            )
+        return arr
+
+    def execute_rounds(self, commands_batch: np.ndarray) -> list[RoundResult]:
+        """Execute ``B`` rounds: ``(B, K, command_dim)`` commands, in order."""
+        arr = self._validate_batch(commands_batch)
+        return [self.execute_round(arr[b]) for b in range(arr.shape[0])]

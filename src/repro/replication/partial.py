@@ -16,11 +16,11 @@ from repro.exceptions import ConfigurationError, SecurityViolation
 from repro.gf.field import OperationCounter
 from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior, HonestBehavior
-from repro.replication.base import RoundResult
+from repro.replication.base import BatchExecutionMixin, RoundResult
 from repro.replication.client import OutputCollector
 
 
-class PartialReplicationSMR:
+class PartialReplicationSMR(BatchExecutionMixin):
     """Partial-replication execution engine."""
 
     def __init__(

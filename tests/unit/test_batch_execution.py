@@ -1,0 +1,218 @@
+"""Unit tests for the batched round pipeline and the measurement bugfixes.
+
+Covers the contract the benchmarks rely on — ``execute_rounds`` is
+bit-identical to the scalar round loop for every engine — plus the
+measurement-harness fixes: ``failed_rounds`` accounting and the
+``num_faults > N`` guard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.measurement import (
+    _fault_behaviors,
+    measure_csm,
+    measure_full_replication,
+    measure_partial_replication,
+)
+from repro.core.config import CSMConfig
+from repro.core.execution import CodedExecutionEngine
+from repro.exceptions import ConfigurationError
+from repro.gf.matrix_cache import clear_matrix_cache, matrix_cache_info
+from repro.machine.library import bank_account_machine
+from repro.net.byzantine import RandomGarbageBehavior, SilentBehavior
+from repro.replication.full import FullReplicationSMR
+from repro.replication.partial import PartialReplicationSMR
+
+
+def _coded_engine(field, num_nodes, num_machines, behaviors, seed=3, **config_kwargs):
+    machine = bank_account_machine(field, num_accounts=2)
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        degree=machine.degree,
+        **config_kwargs,
+    )
+    engine = CodedExecutionEngine(
+        config, machine, node_ids, behaviors(node_ids), np.random.default_rng(seed)
+    )
+    return engine, machine
+
+
+class TestCodedBatchPipeline:
+    @pytest.mark.parametrize("num_garbage,num_silent", [(0, 0), (2, 0), (1, 1)])
+    def test_execute_rounds_bit_identical_to_scalar(
+        self, big_field, num_garbage, num_silent
+    ):
+        def behaviors(node_ids):
+            chosen = {
+                node_ids[i]: RandomGarbageBehavior() for i in range(num_garbage)
+            }
+            for j in range(num_silent):
+                chosen[node_ids[num_garbage + j]] = SilentBehavior()
+            return chosen
+
+        scalar_engine, machine = _coded_engine(
+            big_field, 12, 4, behaviors, num_faults=1
+        )
+        batch_engine, _ = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        commands = np.random.default_rng(9).integers(
+            1, 1000, size=(5, 4, machine.command_dim)
+        )
+        scalar_results = [scalar_engine.execute_round(c) for c in commands]
+        batch_results = batch_engine.execute_rounds(commands)
+        assert len(batch_results) == 5
+        for scalar_round, batch_round in zip(scalar_results, batch_results):
+            np.testing.assert_array_equal(scalar_round.outputs, batch_round.outputs)
+            np.testing.assert_array_equal(scalar_round.states, batch_round.states)
+            assert scalar_round.correct == batch_round.correct
+            assert (
+                scalar_round.diagnostics["error_nodes"]
+                == batch_round.diagnostics["error_nodes"]
+            )
+            assert batch_round.diagnostics["batched"] is True
+        # The engines end the batch with identical coded node states.
+        for scalar_node, batch_node in zip(scalar_engine.nodes, batch_engine.nodes):
+            np.testing.assert_array_equal(
+                scalar_node.coded_state, batch_node.coded_state
+            )
+
+    def test_single_round_promoted_to_batch(self, big_field):
+        engine, machine = _coded_engine(big_field, 9, 3, lambda ids: {})
+        commands = np.random.default_rng(0).integers(
+            1, 100, size=(3, machine.command_dim)
+        )
+        results = engine.execute_rounds(commands)
+        assert len(results) == 1
+        assert results[0].correct
+
+    def test_batch_shape_validation(self, big_field):
+        engine, _ = _coded_engine(big_field, 9, 3, lambda ids: {})
+        with pytest.raises(ConfigurationError):
+            engine.execute_rounds(np.zeros((2, 4, 2), dtype=np.int64))
+
+    def test_batch_charges_scalar_encode_and_update_ops(self, big_field):
+        """Per-node encode/update op counts match the scalar protocol model."""
+        scalar_engine, machine = _coded_engine(big_field, 9, 3, lambda ids: {})
+        batch_engine, _ = _coded_engine(big_field, 9, 3, lambda ids: {})
+        commands = np.random.default_rng(4).integers(
+            1, 100, size=(2, 3, machine.command_dim)
+        )
+        scalar_results = [scalar_engine.execute_round(c) for c in commands]
+        batch_results = batch_engine.execute_rounds(commands)
+        for scalar_round, batch_round in zip(scalar_results, batch_results):
+            for node in scalar_engine.nodes:
+                scalar_ops = scalar_round.ops_per_node[node.node_id]
+                batch_ops = batch_round.ops_per_node[node.node_id]
+                # The decode share differs (that is the optimisation); the
+                # local encode + transition + update share must not.
+                scalar_local = scalar_ops - scalar_round.diagnostics["decode_ops"]
+                batch_local = batch_ops - batch_round.diagnostics["decode_ops"]
+                assert scalar_local == batch_local
+            assert (
+                batch_round.diagnostics["decode_ops"]
+                < scalar_round.diagnostics["decode_ops"]
+            )
+
+    def test_matrix_cache_populated_by_batch(self, big_field):
+        clear_matrix_cache()
+        engine, machine = _coded_engine(big_field, 9, 3, lambda ids: {})
+        commands = np.random.default_rng(1).integers(
+            1, 100, size=(2, 3, machine.command_dim)
+        )
+        engine.execute_rounds(commands)
+        info = matrix_cache_info()
+        assert info.get("lagrange-C", 0) >= 1
+        assert info.get("transfer", 0) >= 1
+
+
+class TestReplicationBatchMixin:
+    def test_full_replication_execute_rounds(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        node_ids = [f"node-{i}" for i in range(6)]
+        scalar_engine = FullReplicationSMR(
+            machine, 2, node_ids, {}, np.random.default_rng(0)
+        )
+        batch_engine = FullReplicationSMR(
+            machine, 2, node_ids, {}, np.random.default_rng(0)
+        )
+        commands = np.random.default_rng(2).integers(
+            1, 100, size=(3, 2, machine.command_dim)
+        )
+        scalar_results = [scalar_engine.execute_round(c) for c in commands]
+        batch_results = batch_engine.execute_rounds(commands)
+        for scalar_round, batch_round in zip(scalar_results, batch_results):
+            np.testing.assert_array_equal(scalar_round.outputs, batch_round.outputs)
+            assert scalar_round.correct == batch_round.correct
+
+    def test_partial_replication_execute_rounds(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        node_ids = [f"node-{i}" for i in range(8)]
+        engine = PartialReplicationSMR(
+            machine, 4, node_ids, {}, np.random.default_rng(0)
+        )
+        commands = np.random.default_rng(2).integers(
+            1, 100, size=(2, 4, machine.command_dim)
+        )
+        results = engine.execute_rounds(commands)
+        assert len(results) == 2
+        assert all(r.correct for r in results)
+
+    def test_batch_shape_rejected(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        engine = FullReplicationSMR(machine, 2, ["a", "b", "c"])
+        with pytest.raises(ConfigurationError):
+            engine.execute_rounds(np.zeros((2, 3, 2), dtype=np.int64))
+
+
+class TestMeasurementBugfixes:
+    def test_fault_behaviors_rejects_excess_faults(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="exceeds the number of nodes"):
+            _fault_behaviors(["a", "b", "c"], 4, rng)
+
+    def test_measure_rejects_excess_faults(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        with pytest.raises(ValueError):
+            measure_full_replication(machine, 4, 2, num_faults=5, rounds=1)
+        with pytest.raises(ValueError):
+            measure_partial_replication(machine, 4, 2, num_faults=5, rounds=1)
+        with pytest.raises(ValueError):
+            measure_csm(machine, 6, 2, num_faults=7, rounds=1)
+
+    def test_failed_rounds_counted_beyond_bound(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        # (N=12, K=4, b=5) violates 2b + 1 <= N - d(K - 1): every round's
+        # decode fails, yet every executed round must stay in the report.
+        outcome = measure_csm(machine, 12, 4, num_faults=5, rounds=3)
+        assert not outcome.all_correct
+        assert outcome.failed_rounds == 3
+        assert outcome.rounds == 3
+        assert outcome.mean_ops_per_node > 0  # failed rounds still did work
+        assert outcome.as_row()["failed_rounds"] == 3
+
+    def test_failed_rounds_zero_when_clean(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        outcome = measure_csm(machine, 12, 4, num_faults=4, rounds=2)
+        assert outcome.all_correct
+        assert outcome.failed_rounds == 0
+
+    def test_partial_replication_failed_rounds_reported(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        outcome = measure_partial_replication(machine, 8, 4, num_faults=1, rounds=2)
+        assert not outcome.all_correct
+        assert outcome.failed_rounds == 2
+
+    @pytest.mark.parametrize(
+        "measure", [measure_full_replication, measure_partial_replication, measure_csm]
+    )
+    def test_batched_measurement_matches_scalar(self, big_field, measure):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        scalar = measure(machine, 8, 2, num_faults=1, rounds=3, batched=False)
+        batched = measure(machine, 8, 2, num_faults=1, rounds=3, batched=True)
+        assert batched.batched and not scalar.batched
+        assert batched.all_correct == scalar.all_correct
+        assert batched.failed_rounds == scalar.failed_rounds
+        assert batched.storage_efficiency == scalar.storage_efficiency
