@@ -18,6 +18,7 @@ from repro.analysis.complexity import quasilinear_coding_cost
 from repro.analysis.metrics import csm_supported_machines
 from repro.core.config import CSMConfig
 from repro.core.execution import CodedExecutionEngine
+from repro.core.protocol import CSMProtocol
 from repro.experiments import scaling
 from repro.machine.library import bank_account_machine
 from repro.net.byzantine import RandomGarbageBehavior
@@ -122,6 +123,99 @@ def test_batched_pipeline_speedup_bit_identical(field):
     assert speedup >= 3.0, (
         f"batched pipeline speedup {speedup:.1f}x below the 3x floor "
         f"(scalar {scalar_time:.3f}s, batched {batch_time:.3f}s)"
+    )
+
+
+def test_protocol_rows_end_to_end(benchmark, batched_protocol):
+    """Full-protocol sweep (consensus + network + execution) stays correct.
+
+    With ``--batched-protocol`` the sweep runs through
+    ``CSMProtocol.run_rounds_batched``; without it, the sequential loop.
+    Either way every round must decode and deliver (no failed rounds).
+    """
+    rows = benchmark(
+        scaling.protocol_rows,
+        network_sizes=(8, 12),
+        rounds=3,
+        batched_protocol=batched_protocol,
+    )
+    for row in rows:
+        assert row["failed_rounds"] == 0
+        assert row["throughput"] > 0
+        assert row["batched_protocol"] == batched_protocol
+
+
+def _build_protocol(field, machine, num_nodes, num_machines, num_faults, seed):
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        degree=machine.degree,
+        num_faults=num_faults,
+    )
+    # Faults on the highest node indices keep round 0's leader honest, so the
+    # two drivers spend their time in steady-state rounds, not view changes.
+    behaviors = {
+        f"node-{num_nodes - 1 - i}": RandomGarbageBehavior() for i in range(num_faults)
+    }
+    return CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(seed))
+
+
+def test_batched_protocol_speedup_bit_identical(field):
+    """Largest configuration: batched protocol >= 2x faster, history identical.
+
+    Unlike ``test_batched_pipeline_speedup_bit_identical`` (engine only),
+    this drives the *whole* protocol — client submission, consensus,
+    simulated network, coded execution, verified delivery — so the 2x floor
+    covers the consensus/network amortisation (``decide_rounds`` over
+    ``SimulatedNetwork.deliver_all``) on top of the execution pipeline.
+    """
+    machine = bank_account_machine(field, num_accounts=2)
+    num_nodes = 32  # the largest network size of this figure
+    fault_fraction = 0.2
+    num_faults = int(fault_fraction * num_nodes)
+    num_machines = csm_supported_machines(num_nodes, fault_fraction, machine.degree)
+    num_rounds = 8
+    command_rng = np.random.default_rng(7)
+    batches = [
+        command_rng.integers(1, 1000, size=(num_machines, machine.command_dim))
+        for _ in range(num_rounds)
+    ]
+
+    sequential_time = float("inf")
+    batched_time = float("inf")
+    for attempt in range(3):
+        sequential = _build_protocol(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        sequential_records = sequential.run_rounds(batches)
+        sequential_time = min(sequential_time, time.perf_counter() - start)
+
+        batched = _build_protocol(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        batched_records = batched.run_rounds_batched(batches)
+        batched_time = min(batched_time, time.perf_counter() - start)
+
+    for seq, bat in zip(sequential_records, batched_records):
+        assert np.array_equal(seq.commands, bat.commands)
+        assert seq.clients == bat.clients
+        assert seq.consensus_views == bat.consensus_views
+        assert np.array_equal(seq.result.outputs, bat.result.outputs)
+        assert np.array_equal(seq.result.states, bat.result.states)
+        assert seq.result.correct == bat.result.correct
+        assert (
+            seq.result.diagnostics["error_nodes"]
+            == bat.result.diagnostics["error_nodes"]
+        )
+    assert sequential.all_rounds_correct  # configuration inside the decoding bound
+    assert batched.all_rounds_correct
+    speedup = sequential_time / batched_time
+    assert speedup >= 2.0, (
+        f"batched protocol speedup {speedup:.1f}x below the 2x floor "
+        f"(sequential {sequential_time:.3f}s, batched {batched_time:.3f}s)"
     )
 
 

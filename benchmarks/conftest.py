@@ -12,6 +12,25 @@ import pytest
 from repro.gf.prime_field import PrimeField
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--batched-protocol",
+        action="store_true",
+        default=False,
+        help=(
+            "Drive the end-to-end protocol benchmarks through "
+            "CSMProtocol.run_rounds_batched (decide_rounds + deliver_all + "
+            "execute_rounds) instead of the sequential run_round loop."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def batched_protocol(request) -> bool:
+    """Whether ``--batched-protocol`` was passed on the command line."""
+    return bool(request.config.getoption("--batched-protocol"))
+
+
 @pytest.fixture(scope="session")
 def field():
     return PrimeField()

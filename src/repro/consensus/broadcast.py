@@ -119,6 +119,11 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
             "(more faults than nodes?)"
         )
 
+    # The batched round driver is inherited: ConsensusProtocol.decide_rounds
+    # wraps the sequential loop in this network's bulk delivery path, so a
+    # batch of rounds pays one signature check per propose/echo broadcast
+    # instead of one per copy, with bit-identical decisions.
+
     # -- internals ----------------------------------------------------------------------
     def _attempt_view(
         self,

@@ -68,17 +68,32 @@ class CommandPool:
         self._history.add((entry.machine_index, entry.command, entry.client_id))
         return entry
 
-    def submit_batch(
-        self, commands: np.ndarray, client_ids: list[str] | None = None
-    ) -> list[SubmittedCommand]:
-        """Submit one command per machine (row ``k`` goes to machine ``k``)."""
+    def canonical_round(self, commands: np.ndarray) -> np.ndarray:
+        """Validate and shape one round of commands to ``(num_machines, dim)``.
+
+        A flat array is split evenly across the machines; an indivisible (or
+        empty) flat length raises :class:`ConfigurationError` with the actual
+        sizes instead of an opaque numpy reshape error.
+        """
         arr = np.asarray(commands)
         if arr.ndim == 1:
+            if arr.size == 0 or arr.size % self.num_machines != 0:
+                raise ConfigurationError(
+                    f"flat command array of {arr.size} elements cannot be split "
+                    f"evenly across {self.num_machines} machines"
+                )
             arr = arr.reshape(self.num_machines, -1)
         if arr.shape[0] != self.num_machines:
             raise ConfigurationError(
                 f"expected {self.num_machines} rows, got {arr.shape[0]}"
             )
+        return arr
+
+    def submit_batch(
+        self, commands: np.ndarray, client_ids: list[str] | None = None
+    ) -> list[SubmittedCommand]:
+        """Submit one command per machine (row ``k`` goes to machine ``k``)."""
+        arr = self.canonical_round(commands)
         out = []
         for k in range(self.num_machines):
             client = client_ids[k] if client_ids else f"client:{k}"

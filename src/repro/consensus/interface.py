@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -62,6 +63,47 @@ class ConsensusProtocol(ABC):
         the paper's consistency property by asserting all returned decisions
         have equal :meth:`ConsensusDecision.command_tuple`.
         """
+
+    def decide_rounds(
+        self,
+        first_round_index: int,
+        count: int,
+        prepare_round: "Callable[[int], None] | None" = None,
+    ) -> list[dict[str, ConsensusDecision]]:
+        """Decide ``count`` consecutive rounds starting at ``first_round_index``.
+
+        Rounds are always decided in order — the command-pool selection for
+        round ``t + 1`` depends on round ``t``'s decision being marked
+        executed — but when the protocol runs over a
+        :class:`~repro.net.network.SimulatedNetwork` every broadcast in the
+        batch is routed through its bulk delivery path
+        (:meth:`SimulatedNetwork.deliver_all`), amortising the per-copy
+        scheduler events and signature checks across the whole batch.
+
+        ``prepare_round(offset)`` is invoked immediately before each round is
+        decided; batched drivers use it to submit that round's client
+        commands.  Submitting lazily (rather than all rounds up front)
+        matters for bit-identity: the validity check consults the pool's
+        submission history, so commands of *future* rounds must not be
+        visible yet — an equivocating leader's forged payload could otherwise
+        coincide with a later round's real command and pass validation that
+        the sequential path would reject.  The returned per-round decision
+        maps — and the rng/delay stream — are bit-identical to the
+        submit-then-:meth:`decide_round` sequential loop.
+        """
+        def _run() -> list[dict[str, ConsensusDecision]]:
+            decisions = []
+            for offset in range(count):
+                if prepare_round is not None:
+                    prepare_round(offset)
+                decisions.append(self.decide_round(first_round_index + offset))
+            return decisions
+
+        network = getattr(self, "network", None)
+        if network is None or not hasattr(network, "bulk_delivery"):
+            return _run()
+        with network.bulk_delivery():
+            return _run()
 
     @property
     @abstractmethod

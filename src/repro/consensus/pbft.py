@@ -111,6 +111,11 @@ class PBFTConsensus(ConsensusProtocol):
             "(network may not have stabilised or too many faults)"
         )
 
+    # The batched round driver is inherited: ConsensusProtocol.decide_rounds
+    # wraps the sequential loop in this network's bulk delivery path, so a
+    # batch of rounds pays one signature check per pre-prepare/prepare/commit
+    # broadcast instead of one per copy, with bit-identical decisions.
+
     # -- internals ----------------------------------------------------------------------
     def _attempt_view(
         self,

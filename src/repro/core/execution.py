@@ -181,17 +181,49 @@ class CodedExecutionEngine(BatchExecutionMixin):
                 node.reset_counter()
                 node.counter.mul(cmd_dim * self.num_machines)
                 node.counter.add(cmd_dim * (self.num_machines - 1))
+            true_results = self._coded_step_all_nodes(coded_commands[b])
+            results.append(
+                self._complete_round(commands_arr, true_results, batched=True)
+            )
+        return results
+
+    def _coded_step_all_nodes(self, coded_commands: np.ndarray) -> np.ndarray:
+        """Evaluate every node's coded transition in one stacked pass.
+
+        Stacks all ``N`` coded states (faulty nodes keep computing on their —
+        possibly stale — stored state, exactly as in the scalar path) against
+        the round's coded commands and evaluates each component polynomial
+        once over the whole ``(N, arity)`` assignment matrix.  The values are
+        bit-identical to ``N`` per-node :meth:`CSMNode.execute_coded` calls;
+        every node is charged its exact per-node share of the counted field
+        operations, which equals the scalar per-node cost because vectorised
+        field ops count one scalar operation per element.
+        """
+        batch_eval = getattr(self.machine.transition, "evaluate_result_vectors", None)
+        if batch_eval is None:
+            # Non-polynomial transitions have no stacked surface; keep the
+            # per-node loop (values and counts unchanged).
             true_results = np.zeros(
                 (self.num_nodes, self.machine.transition.result_dim), dtype=np.int64
             )
             for node in self.nodes:
                 true_results[node.node_index] = node.execute_coded(
-                    coded_commands[b, node.node_index]
+                    coded_commands[node.node_index]
                 )
-            results.append(
-                self._complete_round(commands_arr, true_results, batched=True)
-            )
-        return results
+            return true_results
+        coded_states = np.stack([node.storage.coded_state for node in self.nodes])
+        step_counter = OperationCounter()
+        self.field.attach_counter(step_counter)
+        try:
+            true_results = batch_eval(coded_states, coded_commands)
+        finally:
+            self.field.attach_counter(None)
+        share_add = step_counter.additions // self.num_nodes
+        share_mul = step_counter.multiplications // self.num_nodes
+        for node in self.nodes:
+            node.counter.add(share_add)
+            node.counter.mul(share_mul)
+        return true_results
 
     def _check_commands(self, commands: np.ndarray) -> np.ndarray:
         commands_arr = self.field.array(commands)
@@ -296,20 +328,30 @@ class CodedExecutionEngine(BatchExecutionMixin):
 
     # -- internals ----------------------------------------------------------------------------
     def _reference_step(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        next_states = np.zeros_like(self.states)
-        outputs = np.zeros((self.num_machines, self.machine.output_dim), dtype=np.int64)
-        for k in range(self.num_machines):
-            state, output = self.machine.step(self.states[k], commands[k])
-            next_states[k] = state
-            outputs[k] = output
-        return next_states, outputs
+        # One vectorised pass over the K reference machines; StateMachine
+        # falls back to scalar steps for transitions without a batched
+        # surface, so the values match the per-machine loop bit for bit.
+        return self.machine.step_batch(self.states, commands)
 
     def _reported_results(
-        self, true_results: np.ndarray, recipient: str | None
+        self,
+        true_results: np.ndarray,
+        recipient: str | None,
+        skip_honest_transform: bool = False,
     ) -> list[np.ndarray | None]:
-        """The per-sender results as seen by ``recipient`` (or by 'the network')."""
+        """The per-sender results as seen by ``recipient`` (or by 'the network').
+
+        With ``skip_honest_transform`` (the batched pipeline), honest nodes'
+        rows are taken straight from the stacked result matrix and only the
+        sparse set of faulty nodes runs its behaviour transform — in node
+        order, so the rng stream is consumed exactly as in the dense loop
+        (honest transforms never draw from it and never delay).
+        """
         reported: list[np.ndarray | None] = []
         for node in self.nodes:
+            if skip_honest_transform and not node.is_faulty:
+                reported.append(true_results[node.node_index])
+                continue
             value = node.report_result(
                 true_results[node.node_index], self.rng, recipient=recipient
             )
@@ -346,7 +388,9 @@ class CodedExecutionEngine(BatchExecutionMixin):
         self, true_results: np.ndarray, decode_counter: OperationCounter
     ) -> tuple[np.ndarray, tuple[int, ...]]:
         """Batched-pipeline decode: cached matrices + persistent suspect set."""
-        reported = self._reported_results(true_results, recipient=None)
+        reported = self._reported_results(
+            true_results, recipient=None, skip_honest_transform=True
+        )
         self.field.attach_counter(decode_counter)
         try:
             if any(entry is None for entry in reported):

@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConsensusError
 from repro.consensus.broadcast import AuthenticatedBroadcastConsensus
+from repro.consensus.interface import ConsensusDecision
 from repro.consensus.command_pool import CommandPool
 from repro.consensus.pbft import PBFTConsensus
 from repro.machine.interface import StateMachine
@@ -84,16 +85,27 @@ class CSMProtocol:
             self.consensus = AuthenticatedBroadcastConsensus(
                 self.network, self.node_ids, self.pool, self.behaviors, self.rng
             )
+        # The execution phase draws its randomness (Byzantine result
+        # transforms) from a dedicated stream seeded off the protocol rng.
+        # The consensus/network layer keeps consuming ``self.rng`` directly,
+        # so the batched driver (consensus for B rounds, then execution for
+        # B rounds) sees exactly the same draws as the sequential
+        # round-by-round interleaving — the basis of the bit-identity
+        # guarantee of :meth:`run_rounds_batched`.
+        engine_rng = np.random.default_rng(int(self.rng.integers(0, 2**63)))
         self.engine = CodedExecutionEngine(
             config,
             machine,
             node_ids=self.node_ids,
             behaviors=self.behaviors,
-            rng=self.rng,
+            rng=engine_rng,
             decode_at_every_node=decode_at_every_node,
         )
         self.history: list[ProtocolRound] = []
         self.delivered_outputs: dict[str, list[np.ndarray]] = {}
+        # Rounds whose decode failed verification never reach the clients;
+        # they are recorded here (client id -> failed round indices) instead.
+        self.failed_deliveries: dict[str, list[int]] = {}
 
     # -- client-facing API ------------------------------------------------------------
     def submit_command(self, machine_index: int, client_id: str, command) -> None:
@@ -103,13 +115,7 @@ class CSMProtocol:
 
     def submit_round_of_commands(self, commands: np.ndarray, client_prefix: str = "client") -> None:
         """Convenience: submit one command per machine from distinct clients."""
-        arr = np.asarray(commands)
-        if arr.ndim == 1:
-            arr = arr.reshape(self.config.num_machines, -1)
-        if arr.shape[0] != self.config.num_machines:
-            raise ConfigurationError(
-                f"expected {self.config.num_machines} commands, got {arr.shape[0]}"
-            )
+        arr = self.pool.canonical_round(commands)
         for k in range(arr.shape[0]):
             self.submit_command(k, f"{client_prefix}:{k}", arr[k])
 
@@ -118,42 +124,136 @@ class CSMProtocol:
         """Run one full round: consensus on commands, then coded execution."""
         round_index = len(self.history)
         decisions = self.consensus.decide_round(round_index)
-        sample = next(iter(decisions.values()))
+        sample = self._select_decision(decisions)
         result = self.engine.execute_round(sample.commands)
-        record = ProtocolRound(
-            round_index=round_index,
-            commands=sample.commands,
-            clients=sample.clients,
-            result=result,
-            consensus_views=sample.view,
-        )
-        self.history.append(record)
-        # Deliver outputs to the submitting clients.
-        for k, client_id in enumerate(sample.clients):
-            self.delivered_outputs.setdefault(client_id, []).append(
-                result.outputs[k].copy()
-            )
-        return record
+        return self._record_round(sample, result)
 
     def run_rounds(self, command_batches: list[np.ndarray]) -> list[ProtocolRound]:
-        """Submit and execute several rounds of commands."""
+        """Submit and execute several rounds of commands, one round at a time."""
         records = []
         for batch in command_batches:
             self.submit_round_of_commands(batch)
             records.append(self.run_round())
         return records
 
+    def run_rounds_batched(self, command_batches: list[np.ndarray]) -> list[ProtocolRound]:
+        """Run ``B`` full rounds through the batched pipeline.
+
+        The batched path decides all ``B`` rounds through the consensus
+        protocol's :meth:`decide_rounds` fast path (broadcast delivery
+        amortised via :meth:`SimulatedNetwork.deliver_all`; each round's
+        commands are submitted just before its consensus round, exactly as
+        clients would), and feeds the agreed command matrix straight into
+        :meth:`CodedExecutionEngine.execute_rounds` — one encode matrix
+        product and suspect-learning decode for the whole batch.
+
+        The recorded :class:`ProtocolRound` history (commands, clients,
+        consensus views, outputs, states, correctness flags, flagged error
+        nodes) is bit-identical to calling :meth:`run_rounds` on an
+        identically-constructed protocol; only the operation/message *counts*
+        drop, which is precisely what the batch buys.
+        """
+        # Canonicalise every batch before any consensus runs: a malformed
+        # batch must fail fast, not discard earlier rounds the consensus
+        # already decided (shape validation is pure, so this cannot perturb
+        # the pool history the bit-identity guarantee depends on).
+        batches = [self.pool.canonical_round(batch) for batch in command_batches]
+        if not batches:
+            return []
+        first_round = len(self.history)
+        per_round_decisions = self.consensus.decide_rounds(
+            first_round,
+            len(batches),
+            prepare_round=lambda offset: self.submit_round_of_commands(batches[offset]),
+        )
+        samples = [self._select_decision(d) for d in per_round_decisions]
+        commands_matrix = np.stack([sample.commands for sample in samples])
+        results = self.engine.execute_rounds(commands_matrix)
+        return [
+            self._record_round(sample, result)
+            for sample, result in zip(samples, results)
+        ]
+
+    def _select_decision(
+        self, decisions: dict[str, ConsensusDecision]
+    ) -> ConsensusDecision:
+        """Pick the round's decision from a known-honest node.
+
+        Trusting ``next(iter(decisions))`` would adopt whichever node happens
+        to come first — potentially a Byzantine one.  Instead the decision is
+        taken from the first known-honest node (deterministic in node order),
+        after checking that every honest node decided the same command
+        vector; a disagreement is a consensus-safety violation and raises.
+        """
+        honest_ids = [
+            node_id
+            for node_id in self.node_ids
+            if node_id in decisions and not self._is_faulty(node_id)
+        ]
+        if not honest_ids:
+            raise ConsensusError("no honest node produced a consensus decision")
+        chosen = decisions[honest_ids[0]]
+        reference = (chosen.command_tuple(), tuple(chosen.clients))
+        for node_id in honest_ids[1:]:
+            other = decisions[node_id]
+            if (other.command_tuple(), tuple(other.clients)) != reference:
+                raise ConsensusError(
+                    f"honest nodes {honest_ids[0]} and {node_id} decided different "
+                    "command vectors — consensus safety violated"
+                )
+        return chosen
+
+    def _is_faulty(self, node_id: str) -> bool:
+        behavior = self.behaviors.get(node_id)
+        return behavior is not None and behavior.is_faulty
+
+    def _record_round(self, sample: ConsensusDecision, result) -> ProtocolRound:
+        """Append the round record and deliver (only) verified outputs."""
+        record = ProtocolRound(
+            round_index=len(self.history),
+            commands=sample.commands,
+            clients=sample.clients,
+            result=result,
+            consensus_views=sample.view,
+        )
+        self.history.append(record)
+        if result.correct:
+            for k, client_id in enumerate(sample.clients):
+                self.delivered_outputs.setdefault(client_id, []).append(
+                    result.outputs[k].copy()
+                )
+        else:
+            # A failed round must not hand unverified values to clients; it
+            # is recorded so clients can observe the gap and resubmit.
+            for client_id in sample.clients:
+                self.failed_deliveries.setdefault(client_id, []).append(
+                    record.round_index
+                )
+        return record
+
     # -- reporting ----------------------------------------------------------------------
     @property
     def all_rounds_correct(self) -> bool:
         return all(record.correct for record in self.history)
 
+    @property
+    def failed_rounds(self) -> int:
+        """Number of completed rounds whose decode failed verification."""
+        return sum(1 for record in self.history if not record.correct)
+
     def measured_throughput(self) -> float:
-        """Average commands per unit per-node operation across completed rounds."""
+        """Average commands per unit per-node operation across completed rounds.
+
+        Rounds with a non-finite throughput (degenerate zero-operation
+        rounds) are excluded from the mean; if *no* round produced a finite
+        throughput the result is ``0.0`` — never ``inf``, which would poison
+        downstream averages.  ``failed_rounds`` reports how many rounds
+        failed verification, matching the measurement-harness semantics.
+        """
         if not self.history:
             return 0.0
         throughputs = [
             record.result.throughput(self.config.num_machines) for record in self.history
         ]
         finite = [t for t in throughputs if np.isfinite(t)]
-        return float(np.mean(finite)) if finite else float("inf")
+        return float(np.mean(finite)) if finite else 0.0

@@ -22,6 +22,37 @@ MachineState = np.ndarray
 TransitionOutput = tuple[np.ndarray, np.ndarray]
 
 
+def validate_step_batch(
+    field: Field,
+    states: np.ndarray,
+    commands: np.ndarray,
+    state_dim: int,
+    command_dim: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalise a batched step's inputs to ``(n, state_dim)``/``(n, command_dim)``.
+
+    Shared by :meth:`StateMachine.step_batch` and
+    :meth:`PolynomialTransition.step_batch` so both surfaces validate (and
+    convert) exactly once with identical error messages.
+    """
+    states_arr = field.array(states)
+    commands_arr = field.array(commands)
+    if states_arr.ndim != 2 or states_arr.shape[1] != state_dim:
+        raise ConfigurationError(
+            f"expected states of shape (n, {state_dim}), got {states_arr.shape}"
+        )
+    if commands_arr.ndim != 2 or commands_arr.shape[1] != command_dim:
+        raise ConfigurationError(
+            f"expected commands of shape (n, {command_dim}), got {commands_arr.shape}"
+        )
+    if states_arr.shape[0] != commands_arr.shape[0]:
+        raise ConfigurationError(
+            f"state batch of {states_arr.shape[0]} rows does not match "
+            f"command batch of {commands_arr.shape[0]} rows"
+        )
+    return states_arr, commands_arr
+
+
 @runtime_checkable
 class Transition(Protocol):
     """Anything that can act as the transition function ``f``."""
@@ -97,6 +128,33 @@ class StateMachine:
                 f"command has dimension {command_vec.shape[0]}, expected {self.command_dim}"
             )
         return self.transition.step(state_vec, command_vec)
+
+    def step_batch(
+        self, states: np.ndarray, commands: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``f`` to ``n`` independent state/command rows at once.
+
+        Returns ``(next_states, outputs)`` of shapes ``(n, state_dim)`` and
+        ``(n, output_dim)``.  When the transition provides its own vectorised
+        ``step_batch`` (as :class:`PolynomialTransition` does) the whole batch
+        is delegated to it — including canonicalisation and shape validation,
+        so the hot path converts each array exactly once; otherwise the rows
+        fall back to scalar :meth:`step` calls.  Values are bit-identical
+        either way.
+        """
+        batch = getattr(self.transition, "step_batch", None)
+        if batch is not None:
+            return batch(states, commands)
+        states_arr, commands_arr = validate_step_batch(
+            self.field, states, commands, self.state_dim, self.command_dim
+        )
+        next_states = np.zeros_like(states_arr)
+        outputs = np.zeros((states_arr.shape[0], self.output_dim), dtype=np.int64)
+        for i in range(states_arr.shape[0]):
+            next_states[i], outputs[i] = self.transition.step(
+                states_arr[i], commands_arr[i]
+            )
+        return next_states, outputs
 
     def run(self, commands: np.ndarray, initial_state: np.ndarray | None = None):
         """Execute a sequence of commands; returns ``(final_state, outputs)``.

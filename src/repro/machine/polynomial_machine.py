@@ -24,6 +24,7 @@ from repro.exceptions import ConfigurationError
 from repro.gf.field import Field
 from repro.gf.multivariate import MultivariatePolynomial
 from repro.gf.polynomial import Poly
+from repro.machine.interface import validate_step_batch
 
 
 class PolynomialTransition:
@@ -99,6 +100,45 @@ class PolynomialTransition:
         """
         next_state, output = self.step(state, command)
         return np.concatenate([next_state, output])
+
+    def step_batch(
+        self, states: np.ndarray, commands: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``f`` to ``n`` state/command rows in one vectorised pass.
+
+        ``states`` has shape ``(n, state_dim)`` and ``commands`` shape
+        ``(n, command_dim)``; returns ``(next_states, outputs)`` of shapes
+        ``(n, state_dim)`` and ``(n, output_dim)``.  Each component polynomial
+        is evaluated once over the stacked assignment matrix, so the per-row
+        values — and, when an operation counter is attached, the per-row
+        operation counts — are identical to ``n`` scalar :meth:`step` calls.
+        """
+        assignments = self._assignment_batch(states, commands)
+        next_states = np.stack(
+            [p.evaluate_batch(assignments) for p in self.next_state_polys], axis=1
+        )
+        outputs = np.stack(
+            [p.evaluate_batch(assignments) for p in self.output_polys], axis=1
+        )
+        return next_states, outputs
+
+    def evaluate_result_vectors(
+        self, states: np.ndarray, commands: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`evaluate_result_vector`: ``(n, result_dim)`` rows.
+
+        Row ``i`` is what node ``i`` computes on its coded state/command pair;
+        the coded execution engine uses this to evaluate every node's coded
+        transition in one stacked pass instead of a per-node Python loop.
+        """
+        next_states, outputs = self.step_batch(states, commands)
+        return np.concatenate([next_states, outputs], axis=1)
+
+    def _assignment_batch(self, states: np.ndarray, commands: np.ndarray) -> np.ndarray:
+        states_arr, commands_arr = validate_step_batch(
+            self.field, states, commands, self.state_dim, self.command_dim
+        )
+        return np.concatenate([states_arr, commands_arr], axis=1)
 
     def _assignment(self, state: np.ndarray, command: np.ndarray) -> list[int]:
         state_vec = self.field.array(state).reshape(-1)

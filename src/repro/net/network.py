@@ -16,8 +16,9 @@ the "impersonation is easily detectable" clause of the fault model.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -85,6 +86,7 @@ class SimulatedNetwork:
         self.delivery_log: list[DeliveryRecord] = []
         self.rejected_signatures = 0
         self.messages_sent = 0
+        self._bulk_delivery = False
 
     # -- membership -------------------------------------------------------------
     def register(self, node_id: str) -> None:
@@ -139,6 +141,8 @@ class SimulatedNetwork:
         if sign or message.signature is None:
             self.keys.sign(message)
         targets = list(recipients) if recipients is not None else self.participants
+        if self._bulk_delivery:
+            return self.deliver_all(message, targets, sign=False)
         records = []
         for recipient in targets:
             if recipient == message.sender:
@@ -152,6 +156,63 @@ class SimulatedNetwork:
                 continue
             records.append(self.send(message.with_recipient(recipient), sign=False))
         return records
+
+    def deliver_all(
+        self, message: Message, recipients: Iterable[str] | None = None, sign: bool = True
+    ) -> list[DeliveryRecord]:
+        """Bulk broadcast: deliver one copy per recipient without the scheduler.
+
+        Behaviourally equivalent to :meth:`broadcast`, but built for batched
+        round drivers: per-recipient delays are sampled in the same order and
+        from the same rng stream as ``broadcast`` (so the delivery times — and
+        everything downstream of the shared generator — are bit-identical),
+        while each copy is pushed straight into its recipient's mailbox at its
+        delivery time instead of being wrapped in a scheduled event, and the
+        signature is verified once for the whole broadcast instead of once per
+        copy.  :meth:`_Mailbox.drain` filters on delivery time, so copies
+        "arriving" after a collection deadline stay invisible until the clock
+        passes them, exactly as with scheduled delivery.
+        """
+        if sign or message.signature is None:
+            self.keys.sign(message)
+        valid = self.keys.verify(message)
+        targets = list(recipients) if recipients is not None else self.participants
+        now = self.scheduler.now
+        records = []
+        for recipient in targets:
+            mailbox = self._mailboxes.get(recipient)
+            if mailbox is None:
+                raise KeyError(f"unknown recipient '{recipient}'")
+            copy = message.with_recipient(recipient)
+            if recipient == message.sender:
+                # Own broadcast copy: zero delay, no rng draw (as in broadcast).
+                mailbox.push(now, copy)
+                records.append(DeliveryRecord(copy, now, now))
+                continue
+            delivery_time = now + self.delay_model.sample_delay(now, self.rng)
+            record = DeliveryRecord(copy, now, delivery_time, delivered=valid)
+            self.delivery_log.append(record)
+            self.messages_sent += 1
+            if valid:
+                mailbox.push(delivery_time, copy)
+            else:
+                self.rejected_signatures += 1
+            records.append(record)
+        return records
+
+    @contextmanager
+    def bulk_delivery(self) -> Iterator["SimulatedNetwork"]:
+        """Route every :meth:`broadcast` through :meth:`deliver_all` in scope.
+
+        Point-to-point :meth:`send` (the equivocation path) is unaffected, so
+        Byzantine senders consume the rng stream exactly as without bulk mode.
+        """
+        previous = self._bulk_delivery
+        self._bulk_delivery = True
+        try:
+            yield self
+        finally:
+            self._bulk_delivery = previous
 
     # -- receiving -----------------------------------------------------------------
     def collect(

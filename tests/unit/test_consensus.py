@@ -189,3 +189,57 @@ class TestPBFT:
     def test_too_few_nodes_rejected(self):
         with pytest.raises(ConsensusError):
             _pbft_setup(3, 1)
+
+
+def _submit_rounds(pool, num_machines, rounds):
+    for r in range(1, rounds):  # round 0's commands come from the setup helper
+        for k in range(num_machines):
+            pool.submit(k, f"client:{k}", [100 * r + k])
+
+
+class TestDecideRounds:
+    """The batched ``decide_rounds`` path must match sequential decisions."""
+
+    def test_broadcast_decide_rounds_matches_sequential(self):
+        behaviors = {"node-0": SilentBehavior()}  # force a view change in round 0
+        sequential, seq_pool = _sync_setup(5, 2, behaviors)
+        batched, bat_pool = _sync_setup(5, 2, behaviors)
+        _submit_rounds(seq_pool, 2, 3)
+        _submit_rounds(bat_pool, 2, 3)
+        seq_decisions = [sequential.decide_round(r) for r in range(3)]
+        bat_decisions = batched.decide_rounds(0, 3)
+        for seq_round, bat_round in zip(seq_decisions, bat_decisions):
+            assert set(seq_round) == set(bat_round)
+            for node_id in seq_round:
+                assert (
+                    seq_round[node_id].command_tuple()
+                    == bat_round[node_id].command_tuple()
+                )
+                assert seq_round[node_id].view == bat_round[node_id].view
+                assert seq_round[node_id].leader == bat_round[node_id].leader
+        assert seq_pool.total_pending() == bat_pool.total_pending() == 0
+
+    def test_pbft_decide_rounds_matches_sequential(self):
+        sequential = _pbft_setup(4, 2, gst=0.0)
+        batched = _pbft_setup(4, 2, gst=0.0)
+        _submit_rounds(sequential.pool, 2, 2)
+        _submit_rounds(batched.pool, 2, 2)
+        seq_decisions = [sequential.decide_round(r) for r in range(2)]
+        bat_decisions = batched.decide_rounds(0, 2)
+        for seq_round, bat_round in zip(seq_decisions, bat_decisions):
+            assert set(seq_round) == set(bat_round)
+            for node_id in seq_round:
+                assert (
+                    seq_round[node_id].command_tuple()
+                    == bat_round[node_id].command_tuple()
+                )
+                assert seq_round[node_id].view == bat_round[node_id].view
+
+    def test_decide_rounds_uses_bulk_delivery(self):
+        protocol, pool = _sync_setup(4, 1)
+        _submit_rounds(pool, 1, 2)
+        protocol.decide_rounds(0, 2)
+        # Bulk delivery bypasses the scheduler entirely: no event was ever
+        # processed, yet both rounds decided.
+        assert protocol.network.scheduler.processed_events == 0
+        assert not protocol.network._bulk_delivery  # flag restored on exit

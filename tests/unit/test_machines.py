@@ -49,6 +49,52 @@ class TestPolynomialTransition:
         state, output = machine.transition.split_result(vector)
         assert list(state) == [1, 2] and list(output) == [3, 4]
 
+    def test_step_batch_matches_per_row_steps(self, big_field, rng):
+        machine = quadratic_market_machine(big_field)
+        states = rng.integers(0, 1000, size=(7, 2))
+        commands = rng.integers(0, 1000, size=(7, 2))
+        batch_states, batch_outputs = machine.transition.step_batch(states, commands)
+        for i in range(7):
+            next_state, output = machine.transition.step(states[i], commands[i])
+            assert batch_states[i].tolist() == next_state.tolist()
+            assert batch_outputs[i].tolist() == output.tolist()
+        stacked = machine.transition.evaluate_result_vectors(states, commands)
+        assert stacked.shape == (7, machine.transition.result_dim)
+        for i in range(7):
+            assert stacked[i].tolist() == machine.transition.evaluate_result_vector(
+                states[i], commands[i]
+            ).tolist()
+
+    def test_step_batch_validates_shapes(self, big_field):
+        machine = quadratic_market_machine(big_field)
+        with pytest.raises(ConfigurationError):
+            machine.transition.step_batch(np.ones((3, 1), dtype=int), np.ones((3, 2), dtype=int))
+        with pytest.raises(ConfigurationError):
+            machine.transition.step_batch(np.ones((3, 2), dtype=int), np.ones((2, 2), dtype=int))
+
+    def test_step_batch_counts_match_scalar_per_row(self, big_field):
+        """Vectorised evaluation charges exactly n x the scalar per-row cost —
+        the property the execution engine's per-node accounting relies on."""
+        from repro.gf.field import OperationCounter
+
+        machine = quadratic_market_machine(big_field)
+        states = np.arange(10).reshape(5, 2) + 1
+        commands = np.arange(10).reshape(5, 2) + 3
+        scalar_counter = OperationCounter()
+        big_field.attach_counter(scalar_counter)
+        try:
+            machine.transition.step(states[0], commands[0])
+        finally:
+            big_field.attach_counter(None)
+        batch_counter = OperationCounter()
+        big_field.attach_counter(batch_counter)
+        try:
+            machine.transition.step_batch(states, commands)
+        finally:
+            big_field.attach_counter(None)
+        assert batch_counter.additions == 5 * scalar_counter.additions
+        assert batch_counter.multiplications == 5 * scalar_counter.multiplications
+
     def test_compose_matches_coded_evaluation(self, big_field, rng):
         # The composite polynomial h(z) = f(u(z), v(z)) evaluated at a point
         # equals f applied to the coded (evaluated) state and command.
@@ -87,6 +133,18 @@ class TestStateMachine:
             machine.step(np.array([1]), np.array([1, 2]))
         with pytest.raises(ConfigurationError):
             machine.step(np.array([1, 2]), np.array([1]))
+
+    def test_machine_step_batch_delegates_and_validates(self, big_field, rng):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        states = rng.integers(0, 100, size=(4, 2))
+        commands = rng.integers(0, 100, size=(4, 2))
+        next_states, outputs = machine.step_batch(states, commands)
+        for i in range(4):
+            expected_state, expected_output = machine.step(states[i], commands[i])
+            assert next_states[i].tolist() == expected_state.tolist()
+            assert outputs[i].tolist() == expected_output.tolist()
+        with pytest.raises(ConfigurationError):
+            machine.step_batch(states[:, :1], commands)
 
     def test_run_sequence(self, big_field):
         machine = counter_machine(big_field)

@@ -191,6 +191,64 @@ class TestSimulatedNetwork:
         assert stats["messages_sent"] == 1
         assert stats["rejected_signatures"] == 0
 
+    def test_deliver_all_matches_broadcast(self):
+        """Bulk delivery: same recipients, payloads and delivery times as
+        broadcast (it samples delays from the same rng in the same order),
+        without creating scheduler events."""
+        scheduled = self._network()
+        bulk = self._network()
+        message = Message("a", "*", MessageKind.CONSENSUS_PROPOSAL, 0, {"v": 1})
+        scheduled.broadcast(
+            Message("a", "*", MessageKind.CONSENSUS_PROPOSAL, 0, {"v": 1})
+        )
+        records = bulk.deliver_all(message)
+        assert bulk.scheduler.pending == 0
+        assert scheduled.scheduler.pending > 0
+        received_scheduled = scheduled.collect_all(["a", "b", "c"])
+        received_bulk = bulk.collect_all(["a", "b", "c"])
+        for node in ("a", "b", "c"):
+            assert [m.payload for m in received_scheduled[node]] == [
+                m.payload for m in received_bulk[node]
+            ]
+        # identical delay draws -> identical delivery times
+        assert [r.delivery_time for r in scheduled.delivery_log] == [
+            r.delivery_time for r in bulk.delivery_log
+        ]
+        assert scheduled.messages_sent == bulk.messages_sent == len(records) - 1
+
+    def test_deliver_all_respects_collection_deadline(self):
+        network = SimulatedNetwork(
+            delay_model=SynchronousDelay(max_delay=5.0, min_delay=4.0),
+            rng=np.random.default_rng(0),
+        )
+        for node in ("a", "b"):
+            network.register(node)
+        network.deliver_all(Message("a", "*", MessageKind.CODED_RESULT, 0, 1), ["b"])
+        # Delay is at least 4.0: a 1.0-window collect must not see the copy...
+        assert network.collect("b", timeout=1.0) == []
+        # ...but a later collect past the delivery time must.
+        assert len(network.collect("b", timeout=5.0)) == 1
+
+    def test_deliver_all_drops_forged_messages(self):
+        network = self._network()
+        forged = network.keys.sign_as(
+            Message("a", "*", MessageKind.CODED_RESULT, 0, 1), "c"
+        )
+        network.deliver_all(forged, ["a", "b"], sign=False)
+        assert network.collect("a") == [] and network.collect("b") == []
+        assert network.rejected_signatures == 2
+
+    def test_bulk_delivery_context_reroutes_broadcast(self):
+        network = self._network()
+        with network.bulk_delivery():
+            network.broadcast(Message("a", "*", MessageKind.CONSENSUS_VOTE, 0, "e"))
+            assert network.scheduler.pending == 0
+        # Outside the context, broadcast schedules events again.
+        network.broadcast(Message("a", "*", MessageKind.CONSENSUS_VOTE, 0, "e"))
+        assert network.scheduler.pending > 0
+        received = network.collect_all(["a", "b", "c"], kind=MessageKind.CONSENSUS_VOTE)
+        assert all(len(msgs) == 2 for msgs in received.values())
+
 
 class TestByzantineBehaviors:
     def test_honest_behavior_returns_value_unchanged(self, big_field, rng):
