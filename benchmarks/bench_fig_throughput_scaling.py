@@ -126,23 +126,42 @@ def test_batched_pipeline_speedup_bit_identical(field):
     )
 
 
-def test_protocol_rows_end_to_end(benchmark, batched_protocol):
+def test_protocol_rows_end_to_end(benchmark, batched_protocol, service_mode):
     """Full-protocol sweep (consensus + network + execution) stays correct.
 
-    With ``--batched-protocol`` the sweep runs through
-    ``CSMProtocol.run_rounds_batched``; without it, the sequential loop.
-    Either way every round must decode and deliver (no failed rounds).
+    With ``--service`` the sweep submits the traffic through CSMService
+    sessions and lets the round scheduler drive the batches; with
+    ``--batched-protocol`` it runs through ``CSMProtocol.run_rounds_batched``;
+    without either, the sequential loop.  In every mode each round must
+    decode and deliver (no failed rounds).
     """
     rows = benchmark(
         scaling.protocol_rows,
         network_sizes=(8, 12),
         rounds=3,
         batched_protocol=batched_protocol,
+        service=service_mode,
+    )
+    expected_mode = (
+        "service" if service_mode else "batched" if batched_protocol else "sequential"
     )
     for row in rows:
         assert row["failed_rounds"] == 0
         assert row["throughput"] > 0
-        assert row["batched_protocol"] == batched_protocol
+        assert row["mode"] == expected_mode
+
+
+def test_service_rows_ragged_traffic(benchmark):
+    """The ragged-traffic service sweep executes every ticket it accepts."""
+    rows = benchmark(
+        scaling.service_rows, network_sizes=(8, 12), rounds=3, fill_probability=0.5
+    )
+    for row in rows:
+        assert row["failed"] == 0
+        assert row["executed"] == row["tickets"]
+        # Ragged traffic means some slots were padding, yet throughput holds.
+        assert row["rounds_run"] >= 1
+        assert row["throughput"] > 0
 
 
 def _build_protocol(field, machine, num_nodes, num_machines, num_faults, seed):
@@ -216,6 +235,82 @@ def test_batched_protocol_speedup_bit_identical(field):
     assert speedup >= 2.0, (
         f"batched protocol speedup {speedup:.1f}x below the 2x floor "
         f"(sequential {sequential_time:.3f}s, batched {batched_time:.3f}s)"
+    )
+
+
+def test_service_scheduler_parity_bit_identical(field):
+    """Largest configuration: the session/ticket service costs ≤ 10% extra.
+
+    The scheduler adds a pure-Python planning pass per batch (ingress pool
+    dequeue + ticket resolution) on top of ``run_rounds_batched``; at the
+    figure's largest configuration that overhead must stay within 10% of the
+    batched-protocol wall-clock, and the recorded round history must remain
+    bit-identical (same commands, same ``client:k`` attribution, same
+    outputs/states/correctness).
+    """
+    from repro.service import CSMService, TicketState
+
+    machine = bank_account_machine(field, num_accounts=2)
+    num_nodes = 32  # the largest network size of this figure
+    fault_fraction = 0.2
+    num_faults = int(fault_fraction * num_nodes)
+    num_machines = csm_supported_machines(num_nodes, fault_fraction, machine.degree)
+    num_rounds = 8
+    command_rng = np.random.default_rng(7)
+    batches = [
+        command_rng.integers(1, 1000, size=(num_machines, machine.command_dim))
+        for _ in range(num_rounds)
+    ]
+
+    def run_service(protocol):
+        service = CSMService(
+            protocol, max_batch_rounds=num_rounds, min_fill=num_machines
+        )
+        sessions = [
+            service.connect(f"client:{k}") for k in range(num_machines)
+        ]
+        for batch in batches:
+            for k in range(num_machines):
+                sessions[k].submit(k, batch[k])
+        service.drain()
+        return service
+
+    # Min over a few attempts filters transient scheduler noise on shared CI
+    # runners; the overhead being compared is microseconds of pure Python
+    # against milliseconds of consensus simulation, so 10% is a wide margin.
+    batched_time = float("inf")
+    service_time = float("inf")
+    for attempt in range(3):
+        batched = _build_protocol(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        batched_records = batched.run_rounds_batched(batches)
+        batched_time = min(batched_time, time.perf_counter() - start)
+
+        served = _build_protocol(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        service = run_service(served)
+        service_time = min(service_time, time.perf_counter() - start)
+
+    service_records = served.history
+    assert len(batched_records) == len(service_records) == num_rounds
+    for bat, srv in zip(batched_records, service_records):
+        assert np.array_equal(bat.commands, srv.commands)
+        assert bat.clients == srv.clients
+        assert bat.consensus_views == srv.consensus_views
+        assert np.array_equal(bat.result.outputs, srv.result.outputs)
+        assert np.array_equal(bat.result.states, srv.result.states)
+        assert bat.result.correct == srv.result.correct
+    assert batched.all_rounds_correct and served.all_rounds_correct
+    assert all(t.state is TicketState.EXECUTED for t in service.tickets())
+    ratio = service_time / batched_time
+    assert ratio <= 1.10, (
+        f"service-scheduled path {ratio:.2f}x the batched-protocol wall-clock "
+        f"(service {service_time:.3f}s, batched {batched_time:.3f}s) — "
+        "exceeds the 10% scheduling-overhead budget"
     )
 
 

@@ -25,10 +25,28 @@ def pytest_addoption(parser):
     )
 
 
+    parser.addoption(
+        "--service",
+        action="store_true",
+        default=False,
+        help=(
+            "Drive the end-to-end protocol benchmarks through the "
+            "client-session service (CSMService sessions + RoundScheduler "
+            "batches) instead of the lockstep entry points."
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
 def batched_protocol(request) -> bool:
     """Whether ``--batched-protocol`` was passed on the command line."""
     return bool(request.config.getoption("--batched-protocol"))
+
+
+@pytest.fixture(scope="session")
+def service_mode(request) -> bool:
+    """Whether ``--service`` was passed on the command line."""
+    return bool(request.config.getoption("--service"))
 
 
 @pytest.fixture(scope="session")

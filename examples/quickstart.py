@@ -1,10 +1,13 @@
 #!/usr/bin/env python
-"""Quickstart: run a Coded State Machine round end to end.
+"""Quickstart: serve client commands over a Coded State Machine.
 
 This example hosts K = 4 bank-ledger state machines on N = 12 untrusted
-nodes, two of which are Byzantine.  Clients submit deposit commands, the
-nodes run the consensus phase over a simulated synchronous network, execute
-the transition directly on Lagrange-coded states, and decode every machine's
+nodes, two of which are Byzantine.  Clients connect to the service, submit
+deposit commands whenever they have them — no pre-grouped rounds — and get
+back command tickets.  The round scheduler drains the traffic into batched
+rounds (padding idle ledgers with the machine's no-op command), the nodes
+run consensus over a simulated synchronous network, execute the transition
+directly on Lagrange-coded states, and every ticket resolves to the decoded
 correct output despite the faulty nodes.
 
 Run with:  python examples/quickstart.py
@@ -16,6 +19,7 @@ from repro.core import CSMConfig, CSMProtocol
 from repro.gf import PrimeField
 from repro.machine import bank_account_machine
 from repro.net import RandomGarbageBehavior, SilentBehavior
+from repro.service import CSMService
 
 
 def main() -> None:
@@ -34,23 +38,38 @@ def main() -> None:
     }
     protocol = CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(7))
 
-    # Three rounds of client deposits: row k is the command for machine k,
-    # the two columns are the per-account deposit amounts.
-    batches = [
-        np.array([[100, 50], [20, 80], [5, 5], [1, 0]]),
-        np.array([[10, 10], [30, 0], [0, 30], [2, 2]]),
-        np.array([[1, 1], [1, 1], [1, 1], [1, 1]]),
+    # The service is the client-facing API: sessions submit ragged traffic,
+    # the scheduler batches it into rounds behind the scenes.
+    service = CSMService(protocol)
+    alice = service.connect("alice")
+    bob = service.connect("bob")
+
+    # Alice banks on ledgers 0 and 1; Bob is a burst client hammering ledger 2
+    # with three deposits in a row.  Ledger 3 is idle — the scheduler pads it
+    # with the machine's no-op command (an identity transition), so nobody has
+    # to invent traffic for it.
+    tickets = [
+        alice.submit(0, [100, 50]),
+        alice.submit(1, [20, 80]),
+        bob.submit(2, [5, 5]),
+        bob.submit(2, [30, 0]),
+        bob.submit(2, [1, 1]),
     ]
-    for batch in batches:
-        protocol.submit_round_of_commands(batch)
-        record = protocol.run_round()
+
+    records = service.drain()                  # schedule + consensus + execute
+    for record in records:
         print(
             f"round {record.round_index}: correct={record.correct} "
-            f"view={record.consensus_views} "
+            f"view={record.consensus_views} clients={record.clients} "
             f"suspected_faulty={record.result.diagnostics['error_nodes']}"
         )
-        for k in range(config.num_machines):
-            print(f"  ledger {k}: balances = {record.result.outputs[k].tolist()}")
+
+    for ticket in tickets:
+        print(
+            f"ticket {ticket.sequence} ({ticket.client_id} -> ledger "
+            f"{ticket.machine_index}): {ticket.state.value} in round "
+            f"{ticket.round_index}, balances = {ticket.result().tolist()}"
+        )
 
     print("all rounds correct:", protocol.all_rounds_correct)
     print("measured throughput (commands per unit per-node op):",

@@ -29,6 +29,11 @@ under Byzantine Faults* (Li et al., PODC 2019).  It provides:
     The Coded State Machine itself: coded state storage, coded execution,
     and the round protocol for synchronous and partially synchronous
     networks.
+``repro.service``
+    The client-facing serving layer: client sessions, command tickets with a
+    ``PENDING -> COMMITTED -> EXECUTED | FAILED`` lifecycle, and the adaptive
+    round scheduler that drains ragged command streams into batched rounds
+    over any round-driving backend.
 ``repro.intermix``
     INTERMIX, the information-theoretically verifiable matrix-vector
     multiplication protocol, and the delegated (centralised) coding path it
@@ -49,6 +54,7 @@ from repro.exceptions import (
     FieldError,
     LivenessError,
     SecurityViolation,
+    ServiceError,
     VerificationError,
 )
 
@@ -61,5 +67,6 @@ __all__ = [
     "FieldError",
     "LivenessError",
     "SecurityViolation",
+    "ServiceError",
     "VerificationError",
 ]

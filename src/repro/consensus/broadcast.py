@@ -238,9 +238,12 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
 
     @staticmethod
     def _payload_from_selection(selected: list[SubmittedCommand]) -> dict:
+        # Sequences ride along so the decided entries can be removed from the
+        # pool keyed on their unique submission sequence (mark_executed).
         return {
             "commands": [list(entry.command) for entry in selected],
             "clients": [entry.client_id for entry in selected],
+            "sequences": [entry.sequence for entry in selected],
         }
 
     def _distinct_proposals(
@@ -263,15 +266,30 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
 
     @staticmethod
     def _payload_key(payload: dict) -> tuple:
-        return tuple(tuple(int(v) for v in row) for row in payload["commands"])
+        # Sequences are part of the proposal identity: a leader equivocating
+        # only on sequences must be detected like any other equivocation.
+        return (
+            tuple(tuple(int(v) for v in row) for row in payload["commands"]),
+            tuple(int(v) for v in payload.get("sequences") or ()),
+        )
 
     def _is_valid_proposal(self, payload: dict) -> bool:
         commands = payload.get("commands")
         clients = payload.get("clients")
+        sequences = payload.get("sequences")
         if not commands or not clients or len(commands) != self.pool.num_machines:
             return False
-        for k, (command, client) in enumerate(zip(commands, clients)):
+        if not sequences or len(sequences) != len(commands):
+            return False
+        for k, (command, client, sequence) in enumerate(
+            zip(commands, clients, sequences)
+        ):
             if not self.pool.was_submitted(k, command, client):
+                return False
+            # Bind the (unsigned) sequence back to a pending pool entry so a
+            # forged sequence invalidates the proposal here instead of
+            # derailing mark_executed after the decision.
+            if not self.pool.matches_pending(k, command, client, sequence):
                 return False
         return True
 
@@ -280,12 +298,15 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
     ) -> ConsensusDecision:
         commands = np.array(payload["commands"], dtype=np.int64)
         clients = list(payload["clients"])
+        # A payload missing its sequences (a pre-redesign or forged proposal)
+        # yields sentinel -1 entries, which mark_executed rejects loudly.
+        sequences = list(payload.get("sequences") or [-1] * len(clients))
         selected = [
             SubmittedCommand(
                 machine_index=k,
                 client_id=clients[k],
                 command=tuple(int(v) for v in commands[k]),
-                sequence=-1,
+                sequence=int(sequences[k]),
             )
             for k in range(commands.shape[0])
         ]

@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ConsensusError
 
 
 @dataclass(frozen=True)
@@ -111,14 +111,51 @@ class CommandPool:
         """Next command for every machine (``None`` where the pool is empty)."""
         return [self.peek_next(k) for k in range(self.num_machines)]
 
+    def dequeue_next(self, machine_index: int) -> SubmittedCommand | None:
+        """Pop and return the FIFO-next command for ``machine_index``.
+
+        The ticket-aware dequeue used by the round scheduler: the returned
+        entry carries its unique ``sequence``, which the service maps back to
+        the submitting :class:`~repro.service.tickets.CommandTicket` when the
+        round's outputs arrive.  Returns ``None`` when the queue is empty.
+        """
+        self._check_machine(machine_index)
+        queue = self._queues[machine_index]
+        if not queue:
+            return None
+        return queue.pop(0)
+
     def mark_executed(self, machine_index: int, command: SubmittedCommand) -> None:
-        """Remove a decided command from the pool (idempotent)."""
+        """Remove a decided command from the pool, keyed by its ``sequence``.
+
+        Consensus decides concrete pool entries, so removal matches on the
+        unique submission ``sequence`` — matching by ``(command, client_id)``
+        would silently remove the wrong entry when a client resubmits the
+        same payload.  A decided command that is *not* in the pool (unknown
+        sequence, or a sequence whose payload/client was tampered with) is a
+        consensus-safety problem and raises :class:`ConsensusError` instead
+        of being ignored.
+        """
         self._check_machine(machine_index)
         queue = self._queues[machine_index]
         for i, entry in enumerate(queue):
-            if entry.command == command.command and entry.client_id == command.client_id:
+            if entry.sequence == command.sequence:
+                if (
+                    entry.command != command.command
+                    or entry.client_id != command.client_id
+                ):
+                    raise ConsensusError(
+                        f"decided command for machine {machine_index} has sequence "
+                        f"{command.sequence} but its payload/client does not match "
+                        "the pool entry — decision tampered with"
+                    )
                 del queue[i]
                 return
+        raise ConsensusError(
+            f"decided command with sequence {command.sequence} for machine "
+            f"{machine_index} is not pending in the pool — consensus decided "
+            "an unknown command"
+        )
 
     def was_submitted(self, machine_index: int, command: Iterable[int], client_id: str) -> bool:
         """Validity check: was this command really submitted by this client?"""
@@ -128,12 +165,42 @@ class CommandPool:
             str(client_id),
         ) in self._history
 
+    def matches_pending(
+        self,
+        machine_index: int,
+        command: Iterable[int],
+        client_id: str,
+        sequence: int,
+    ) -> bool:
+        """Validity check: does this exact entry currently sit in the pool?
+
+        Proposal sequences are not covered by signatures or digests, so
+        consensus validity must bind them back to the pool: a proposal entry
+        is only valid when a *pending* entry with that sequence exists and
+        its command/client match.  This keeps a Byzantine leader from
+        forging sequences onto otherwise-valid payloads — such a proposal is
+        simply invalid (view change) instead of surfacing later as a
+        :class:`ConsensusError` from :meth:`mark_executed`.
+        """
+        self._check_machine(machine_index)
+        seq = int(sequence)
+        for entry in self._queues[machine_index]:
+            if entry.sequence == seq:
+                return entry.command == tuple(
+                    int(v) for v in command
+                ) and entry.client_id == str(client_id)
+        return False
+
     def pending(self, machine_index: int) -> int:
         self._check_machine(machine_index)
         return len(self._queues[machine_index])
 
     def total_pending(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def pending_machines(self) -> int:
+        """Number of machines with at least one queued command (batch fill)."""
+        return sum(1 for q in self._queues if q)
 
     def _check_machine(self, machine_index: int) -> None:
         if not 0 <= machine_index < self.num_machines:

@@ -125,9 +125,14 @@ class PBFTConsensus(ConsensusProtocol):
         selected: list[SubmittedCommand],
     ) -> dict[str, ConsensusDecision]:
         timeout = self.view_timeout or self.network.delay_model.synchronous_bound
+        # Sequences ride along so the decided entries can be removed from the
+        # pool keyed on their unique submission sequence (mark_executed);
+        # they are covered by the digest and bound to pending pool entries by
+        # the validity check, so they cannot be forged or equivocated on.
         payload = {
             "commands": [list(entry.command) for entry in selected],
             "clients": [entry.client_id for entry in selected],
+            "sequences": [entry.sequence for entry in selected],
         }
         self._primary_pre_prepare(round_index, view, primary, payload)
         pre_prepares = self.network.collect_all(
@@ -266,10 +271,20 @@ class PBFTConsensus(ConsensusProtocol):
     def _is_valid_proposal(self, payload: dict) -> bool:
         commands = payload.get("commands")
         clients = payload.get("clients")
+        sequences = payload.get("sequences")
         if not commands or not clients or len(commands) != self.pool.num_machines:
             return False
-        for k, (command, client) in enumerate(zip(commands, clients)):
+        if not sequences or len(sequences) != len(commands):
+            return False
+        for k, (command, client, sequence) in enumerate(
+            zip(commands, clients, sequences)
+        ):
             if not self.pool.was_submitted(k, command, client):
+                return False
+            # Bind the (unsigned) sequence back to a pending pool entry so a
+            # forged sequence invalidates the pre-prepare here instead of
+            # derailing mark_executed after the decision.
+            if not self.pool.matches_pending(k, command, client, sequence):
                 return False
         return True
 
@@ -281,6 +296,7 @@ class PBFTConsensus(ConsensusProtocol):
             (
                 tuple(tuple(int(v) for v in row) for row in payload["commands"]),
                 tuple(payload["clients"]),
+                tuple(int(v) for v in payload.get("sequences") or ()),
             )
         ).encode()
         return hashlib.sha256(canonical).hexdigest()
@@ -290,12 +306,15 @@ class PBFTConsensus(ConsensusProtocol):
     ) -> ConsensusDecision:
         commands = np.array(payload["commands"], dtype=np.int64)
         clients = list(payload["clients"])
+        # A payload missing its sequences (a pre-redesign or forged proposal)
+        # yields sentinel -1 entries, which mark_executed rejects loudly.
+        sequences = list(payload.get("sequences") or [-1] * len(clients))
         selected = [
             SubmittedCommand(
                 machine_index=k,
                 client_id=clients[k],
                 command=tuple(int(v) for v in commands[k]),
-                sequence=-1,
+                sequence=int(sequences[k]),
             )
             for k in range(commands.shape[0])
         ]

@@ -23,7 +23,7 @@ from repro.core.config import CSMConfig
 from repro.core.storage import CodedStateStore
 from repro.core.node import CSMNode
 from repro.core.execution import CodedExecutionEngine
-from repro.core.protocol import CSMProtocol
+from repro.core.protocol import CSMProtocol, ProtocolRound
 
 __all__ = [
     "CSMConfig",
@@ -31,4 +31,5 @@ __all__ = [
     "CSMNode",
     "CodedExecutionEngine",
     "CSMProtocol",
+    "ProtocolRound",
 ]

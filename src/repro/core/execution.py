@@ -163,6 +163,13 @@ class CodedExecutionEngine(BatchExecutionMixin):
 
         Per-node decoding (``decode_at_every_node=True``) models per-receiver
         equivocation and falls back to the scalar path unchanged.
+
+        Rounds need not carry one *real* command per machine: the service
+        scheduler pads idle machines' rows with
+        :meth:`StateMachine.noop_command` (an identity transition for the
+        library machines), and a noop row is coded, executed and decoded
+        exactly like any other command — ragged traffic costs nothing extra
+        in this pipeline.
         """
         batch_arr = self._validate_batch(commands_batch)
         if self.decode_at_every_node:

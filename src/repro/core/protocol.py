@@ -16,11 +16,11 @@ The protocol can run over either network model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import ConsensusError
+from repro.exceptions import ConfigurationError, ConsensusError
 from repro.consensus.broadcast import AuthenticatedBroadcastConsensus
 from repro.consensus.interface import ConsensusDecision
 from repro.consensus.command_pool import CommandPool
@@ -29,28 +29,23 @@ from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior
 from repro.net.latency import PartiallySynchronousDelay, SynchronousDelay
 from repro.net.network import SimulatedNetwork
-from repro.replication.base import RoundResult
+from repro.rounds import ProtocolRound, RoundProtocol
 from repro.core.config import CSMConfig
 from repro.core.execution import CodedExecutionEngine
 
-
-@dataclass
-class ProtocolRound:
-    """One completed protocol round: the consensus decision plus execution result."""
-
-    round_index: int
-    commands: np.ndarray
-    clients: list[str]
-    result: RoundResult
-    consensus_views: int = 0
-
-    @property
-    def correct(self) -> bool:
-        return self.result.correct
+__all__ = ["CSMProtocol", "ProtocolRound"]
 
 
-class CSMProtocol:
-    """End-to-end Coded State Machine protocol over a simulated network."""
+class CSMProtocol(RoundProtocol):
+    """End-to-end Coded State Machine protocol over a simulated network.
+
+    The preferred client surface is the session/ticket API of
+    :class:`~repro.service.service.CSMService`, which accepts ragged command
+    streams and drives this protocol through the shared
+    :class:`~repro.rounds.RoundProtocol` interface; the lockstep entry
+    points below (``submit_round_of_commands`` + ``run_rounds*``) remain as
+    thin wrappers with their original bit-exact semantics.
+    """
 
     def __init__(
         self,
@@ -101,11 +96,11 @@ class CSMProtocol:
             rng=engine_rng,
             decode_at_every_node=decode_at_every_node,
         )
-        self.history: list[ProtocolRound] = []
-        self.delivered_outputs: dict[str, list[np.ndarray]] = {}
-        # Rounds whose decode failed verification never reach the clients;
-        # they are recorded here (client id -> failed round indices) instead.
-        self.failed_deliveries: dict[str, list[int]] = {}
+        self._init_round_state()
+
+    @property
+    def num_machines(self) -> int:
+        return self.config.num_machines
 
     # -- client-facing API ------------------------------------------------------------
     def submit_command(self, machine_index: int, client_id: str, command) -> None:
@@ -114,10 +109,27 @@ class CSMProtocol:
         self.pool.submit(machine_index, client_id, command)
 
     def submit_round_of_commands(self, commands: np.ndarray, client_prefix: str = "client") -> None:
-        """Convenience: submit one command per machine from distinct clients."""
+        """Submit one command per machine from distinct synthetic clients.
+
+        .. note:: legacy wrapper.  This is the pre-service lockstep shape —
+           one pre-grouped command per machine under reused ``client:k``
+           labels.  New code should connect a
+           :class:`~repro.service.service.ClientSession` and submit command
+           tickets instead; this wrapper remains for the harnesses and the
+           bit-identity guarantees built on it.
+        """
         arr = self.pool.canonical_round(commands)
+        self._submit_round(arr, [f"{client_prefix}:{k}" for k in range(arr.shape[0])])
+
+    def _submit_round(self, commands: np.ndarray, clients: Sequence[str]) -> None:
+        """Submit one round of commands under explicit client identities."""
+        arr = self.pool.canonical_round(commands)
+        if len(clients) != arr.shape[0]:
+            raise ConfigurationError(
+                f"round of {arr.shape[0]} commands but {len(clients)} client ids"
+            )
         for k in range(arr.shape[0]):
-            self.submit_command(k, f"{client_prefix}:{k}", arr[k])
+            self.submit_command(k, clients[k], arr[k])
 
     # -- round driver -------------------------------------------------------------------
     def run_round(self) -> ProtocolRound:
@@ -126,7 +138,7 @@ class CSMProtocol:
         decisions = self.consensus.decide_round(round_index)
         sample = self._select_decision(decisions)
         result = self.engine.execute_round(sample.commands)
-        return self._record_round(sample, result)
+        return self._record_round(sample.commands, sample.clients, result, sample.view)
 
     def run_rounds(self, command_batches: list[np.ndarray]) -> list[ProtocolRound]:
         """Submit and execute several rounds of commands, one round at a time."""
@@ -136,7 +148,11 @@ class CSMProtocol:
             records.append(self.run_round())
         return records
 
-    def run_rounds_batched(self, command_batches: list[np.ndarray]) -> list[ProtocolRound]:
+    def run_rounds_batched(
+        self,
+        command_batches: Sequence[np.ndarray],
+        client_rounds: Sequence[Sequence[str]] | None = None,
+    ) -> list[ProtocolRound]:
         """Run ``B`` full rounds through the batched pipeline.
 
         The batched path decides all ``B`` rounds through the consensus
@@ -147,12 +163,26 @@ class CSMProtocol:
         :meth:`CodedExecutionEngine.execute_rounds` — one encode matrix
         product and suspect-learning decode for the whole batch.
 
-        The recorded :class:`ProtocolRound` history (commands, clients,
-        consensus views, outputs, states, correctness flags, flagged error
-        nodes) is bit-identical to calling :meth:`run_rounds` on an
-        identically-constructed protocol; only the operation/message *counts*
-        drop, which is precisely what the batch buys.
+        ``client_rounds[b][k]`` names the client submitting machine ``k``'s
+        command in round ``b`` — the session/ticket service passes its real
+        client identities here.  Without it, this call is the **legacy
+        lockstep wrapper**: it routes through
+        :meth:`~repro.service.service.CSMService.run_lockstep`, which
+        reproduces the historical ``client:k`` labels, so the recorded
+        :class:`ProtocolRound` history (commands, clients, consensus views,
+        outputs, states, correctness flags, flagged error nodes) stays
+        bit-identical to calling :meth:`run_rounds` on an
+        identically-constructed protocol; only the operation/message
+        *counts* drop, which is precisely what the batch buys.
         """
+        if client_rounds is None:
+            # Deferred import: repro.service drives this protocol and would
+            # otherwise import-cycle with this module.  run_lockstep
+            # canonicalises every batch before submitting anything, so the
+            # fail-fast contract holds without validating twice here.
+            from repro.service import CSMService
+
+            return CSMService.run_lockstep(self, command_batches)
         # Canonicalise every batch before any consensus runs: a malformed
         # batch must fail fast, not discard earlier rounds the consensus
         # already decided (shape validation is pure, so this cannot perturb
@@ -160,17 +190,24 @@ class CSMProtocol:
         batches = [self.pool.canonical_round(batch) for batch in command_batches]
         if not batches:
             return []
+        if len(client_rounds) != len(batches):
+            raise ConfigurationError(
+                f"{len(batches)} command rounds but {len(client_rounds)} client "
+                "rounds"
+            )
         first_round = len(self.history)
         per_round_decisions = self.consensus.decide_rounds(
             first_round,
             len(batches),
-            prepare_round=lambda offset: self.submit_round_of_commands(batches[offset]),
+            prepare_round=lambda offset: self._submit_round(
+                batches[offset], client_rounds[offset]
+            ),
         )
         samples = [self._select_decision(d) for d in per_round_decisions]
         commands_matrix = np.stack([sample.commands for sample in samples])
         results = self.engine.execute_rounds(commands_matrix)
         return [
-            self._record_round(sample, result)
+            self._record_round(sample.commands, sample.clients, result, sample.view)
             for sample, result in zip(samples, results)
         ]
 
@@ -207,53 +244,6 @@ class CSMProtocol:
         behavior = self.behaviors.get(node_id)
         return behavior is not None and behavior.is_faulty
 
-    def _record_round(self, sample: ConsensusDecision, result) -> ProtocolRound:
-        """Append the round record and deliver (only) verified outputs."""
-        record = ProtocolRound(
-            round_index=len(self.history),
-            commands=sample.commands,
-            clients=sample.clients,
-            result=result,
-            consensus_views=sample.view,
-        )
-        self.history.append(record)
-        if result.correct:
-            for k, client_id in enumerate(sample.clients):
-                self.delivered_outputs.setdefault(client_id, []).append(
-                    result.outputs[k].copy()
-                )
-        else:
-            # A failed round must not hand unverified values to clients; it
-            # is recorded so clients can observe the gap and resubmit.
-            for client_id in sample.clients:
-                self.failed_deliveries.setdefault(client_id, []).append(
-                    record.round_index
-                )
-        return record
-
-    # -- reporting ----------------------------------------------------------------------
-    @property
-    def all_rounds_correct(self) -> bool:
-        return all(record.correct for record in self.history)
-
-    @property
-    def failed_rounds(self) -> int:
-        """Number of completed rounds whose decode failed verification."""
-        return sum(1 for record in self.history if not record.correct)
-
-    def measured_throughput(self) -> float:
-        """Average commands per unit per-node operation across completed rounds.
-
-        Rounds with a non-finite throughput (degenerate zero-operation
-        rounds) are excluded from the mean; if *no* round produced a finite
-        throughput the result is ``0.0`` — never ``inf``, which would poison
-        downstream averages.  ``failed_rounds`` reports how many rounds
-        failed verification, matching the measurement-harness semantics.
-        """
-        if not self.history:
-            return 0.0
-        throughputs = [
-            record.result.throughput(self.config.num_machines) for record in self.history
-        ]
-        finite = [t for t in throughputs if np.isfinite(t)]
-        return float(np.mean(finite)) if finite else 0.0
+    # Round recording, verified-only delivery and the reporting surface
+    # (``all_rounds_correct``, ``failed_rounds``, ``measured_throughput``)
+    # are inherited from RoundProtocol — shared with the replication facade.

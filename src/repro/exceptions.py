@@ -53,5 +53,14 @@ class LivenessError(CSMError):
     """The protocol failed to make progress (e.g. insufficient responses)."""
 
 
+class ServiceError(CSMError):
+    """The client-session service was used inconsistently.
+
+    Raised by :mod:`repro.service` on illegal command-ticket lifecycle
+    transitions or when a scheduled batch and the backend's round records
+    disagree in shape.
+    """
+
+
 class VerificationError(CSMError):
     """INTERMIX verification rejected a worker's result."""

@@ -137,12 +137,32 @@ def throughput_rows(
     return rows
 
 
+def _build_protocol(field, machine, num_nodes, fault_fraction, seed):
+    """One CSMProtocol sized for the sweep (faults on the highest node ids)."""
+    num_faults = int(fault_fraction * num_nodes)
+    k = max(csm_supported_machines(num_nodes, fault_fraction, machine.degree) // 2, 1)
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=k,
+        degree=machine.degree,
+        num_faults=num_faults,
+    )
+    # Faults on the highest-indexed nodes keep round 0's leader honest.
+    behaviors = {
+        f"node-{num_nodes - 1 - i}": RandomGarbageBehavior()
+        for i in range(num_faults)
+    }
+    return CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(seed))
+
+
 def protocol_rows(
     network_sizes: tuple[int, ...] = (8, 12, 16),
     fault_fraction: float = 0.2,
     seed: int = 0,
     rounds: int = 4,
     batched_protocol: bool = True,
+    service: bool = False,
 ) -> list[dict]:
     """End-to-end CSMProtocol cost per network size: consensus + execution.
 
@@ -152,39 +172,38 @@ def protocol_rows(
     ``batched_protocol`` selects :meth:`CSMProtocol.run_rounds_batched`
     (consensus ``decide_rounds`` over the bulk delivery path + one
     ``execute_rounds`` batch); ``batched_protocol=False`` runs the sequential
-    ``run_round`` loop.  The recorded round histories are bit-identical
-    either way.
+    ``run_round`` loop.  ``service=True`` submits the same traffic through
+    :class:`~repro.service.service.CSMService` sessions and lets the round
+    scheduler drain it into batches (the production client path).  The
+    recorded round histories are bit-identical across all three modes.
     """
+    from repro.service import CSMService
+
     field = PrimeField()
     machine = bank_account_machine(field, num_accounts=2)
     rng = np.random.default_rng(seed)
     rows = []
     for num_nodes in network_sizes:
-        num_faults = int(fault_fraction * num_nodes)
-        k = max(csm_supported_machines(num_nodes, fault_fraction, machine.degree) // 2, 1)
-        config = CSMConfig(
-            field=field,
-            num_nodes=num_nodes,
-            num_machines=k,
-            degree=machine.degree,
-            num_faults=num_faults,
-        )
-        # Faults on the highest-indexed nodes keep round 0's leader honest.
-        behaviors = {
-            f"node-{num_nodes - 1 - i}": RandomGarbageBehavior()
-            for i in range(num_faults)
-        }
-        protocol = CSMProtocol(
-            config, machine, behaviors, rng=np.random.default_rng(seed)
-        )
+        protocol = _build_protocol(field, machine, num_nodes, fault_fraction, seed)
+        k = protocol.num_machines
         batches = [
             rng.integers(1, 1000, size=(k, machine.command_dim))
             for _ in range(rounds)
         ]
         start = time.perf_counter()
-        if batched_protocol:
+        if service:
+            mode = "service"
+            svc = CSMService(protocol, max_batch_rounds=rounds, min_fill=k)
+            sessions = [svc.connect(f"client:{i}") for i in range(k)]
+            for batch in batches:
+                for i in range(k):
+                    sessions[i].submit(i, batch[i])
+            svc.drain()
+        elif batched_protocol:
+            mode = "batched"
             protocol.run_rounds_batched(batches)
         else:
+            mode = "sequential"
             protocol.run_rounds(batches)
         elapsed = time.perf_counter() - start
         rows.append(
@@ -192,10 +211,76 @@ def protocol_rows(
                 "N": num_nodes,
                 "K": k,
                 "rounds": rounds,
+                "mode": mode,
                 "batched_protocol": batched_protocol,
                 "throughput": protocol.measured_throughput(),
                 "failed_rounds": protocol.failed_rounds,
                 "messages_sent": protocol.network.messages_sent,
+                "wall_seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def service_rows(
+    network_sizes: tuple[int, ...] = (8, 12, 16),
+    fault_fraction: float = 0.2,
+    seed: int = 0,
+    rounds: int = 4,
+    fill_probability: float = 0.6,
+    min_fill: int = 1,
+) -> list[dict]:
+    """Ragged client traffic served through the session/ticket API.
+
+    Every scheduler tick, each machine independently has a pending command
+    with probability ``fill_probability`` (one bursty client also queues a
+    second command for machine 0), so rounds carry noop padding and queues
+    of uneven depth — the workload shape the lockstep harnesses cannot
+    express.  Reports how many scheduled slots were real commands versus
+    padding, and the ticket outcome counts.
+    """
+    from repro.service import CSMService, TicketState
+
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for num_nodes in network_sizes:
+        protocol = _build_protocol(field, machine, num_nodes, fault_fraction, seed)
+        k = protocol.num_machines
+        service = CSMService(
+            protocol, max_batch_rounds=rounds, min_fill=min(min_fill, k)
+        )
+        sessions = [service.connect(f"client:{i}") for i in range(k)]
+        burst = service.connect("client:burst")
+        submitted = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for i in range(k):
+                if rng.random() < fill_probability:
+                    sessions[i].submit(
+                        i, rng.integers(1, 1000, size=machine.command_dim)
+                    )
+                    submitted += 1
+            burst.submit(0, rng.integers(1, 1000, size=machine.command_dim))
+            submitted += 1
+            service.drive()
+        service.drain()
+        elapsed = time.perf_counter() - start
+        tickets = service.tickets()
+        executed = sum(1 for t in tickets if t.state is TicketState.EXECUTED)
+        failed = sum(1 for t in tickets if t.state is TicketState.FAILED)
+        scheduled_slots = len(protocol.history) * k
+        rows.append(
+            {
+                "N": num_nodes,
+                "K": k,
+                "rounds_run": len(protocol.history),
+                "tickets": submitted,
+                "executed": executed,
+                "failed": failed,
+                "noop_slots": scheduled_slots - submitted,
+                "throughput": protocol.measured_throughput(),
                 "wall_seconds": elapsed,
             }
         )
@@ -209,7 +294,11 @@ def run(**kwargs) -> dict:
         "throughput": throughput_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds", "batched")}),
         "protocol": protocol_rows(**{k: v for k, v in kwargs.items() if k in (
-            "network_sizes", "fault_fraction", "seed", "rounds", "batched_protocol")}),
+            "network_sizes", "fault_fraction", "seed", "rounds", "batched_protocol",
+            "service")}),
+        "service": service_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "rounds",
+            "fill_probability", "min_fill")}),
     }
 
 
@@ -223,6 +312,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("End-to-end protocol (consensus + coded execution, batched path)")
     print(format_table(result["protocol"]))
+    print()
+    print("Ragged client traffic through the session/ticket service API")
+    print(format_table(result["service"]))
 
 
 if __name__ == "__main__":  # pragma: no cover

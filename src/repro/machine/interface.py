@@ -81,12 +81,15 @@ class StateMachine:
         The state ``S(0)`` the machine starts from.
     name:
         Optional human-readable label used by examples and reports.
+    noop:
+        Optional explicit no-op command (see :meth:`noop_command`).
     """
 
     field: Field
     transition: Transition
     initial_state: np.ndarray
     name: str = "state-machine"
+    noop: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.initial_state = self.field.array(self.initial_state).reshape(-1)
@@ -95,6 +98,13 @@ class StateMachine:
                 f"initial state has dimension {self.initial_state.shape[0]}, "
                 f"transition expects {self.transition.state_dim}"
             )
+        if self.noop is not None:
+            self.noop = self.field.array(self.noop).reshape(-1)
+            if self.noop.shape[0] != self.transition.command_dim:
+                raise ConfigurationError(
+                    f"noop command has dimension {self.noop.shape[0]}, "
+                    f"transition expects {self.transition.command_dim}"
+                )
 
     # -- structural properties ------------------------------------------------------
     @property
@@ -113,6 +123,25 @@ class StateMachine:
     def degree(self) -> int:
         """Total degree ``d`` of the transition polynomial."""
         return self.transition.degree
+
+    def noop_command(self) -> np.ndarray:
+        """The command used to pad machines that have no pending traffic.
+
+        The round scheduler (:mod:`repro.service`) pads machines whose queues
+        are empty with this command so a round no longer requires one real
+        command per machine.  The contract is that the no-op induces the
+        *identity* state transition (``f(S, noop) = (S, .)``); the machine
+        library configures an explicit identity command wherever one exists
+        (for the linear ledger/counter machines and the degree-2 machines in
+        :mod:`repro.machine.library` the all-zero command is an identity).
+        Machines without a configured ``noop`` fall back to the all-zero
+        command, which advances the state deterministically like any other
+        command — callers relying on idle machines being frozen should set
+        :attr:`noop` explicitly.
+        """
+        if self.noop is not None:
+            return self.noop.copy()
+        return np.zeros(self.command_dim, dtype=np.int64)
 
     # -- execution ---------------------------------------------------------------------
     def step(self, state: np.ndarray, command: np.ndarray) -> TransitionOutput:
@@ -191,6 +220,7 @@ class StateMachine:
                 transition=self.transition,
                 initial_state=self.initial_state.copy(),
                 name=f"{self.name}[{k}]",
+                noop=None if self.noop is None else self.noop.copy(),
             )
             for k in range(count)
         ]

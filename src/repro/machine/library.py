@@ -61,11 +61,14 @@ def bank_account_machine(
         next_state_polys=next_state,
         output_polys=outputs,
     )
+    # The zero deposit vector is an identity transition, so ragged service
+    # rounds can pad idle ledgers without moving their balances.
     return StateMachine(
         field=field,
         transition=transition,
         initial_state=np.zeros(num_accounts, dtype=np.int64),
         name=name,
+        noop=np.zeros(num_accounts, dtype=np.int64),
     )
 
 
@@ -87,6 +90,7 @@ def counter_machine(field: Field, name: str = "counter") -> StateMachine:
         transition=transition,
         initial_state=np.zeros(1, dtype=np.int64),
         name=name,
+        noop=np.zeros(1, dtype=np.int64),  # increment by 0: identity
     )
 
 
@@ -116,11 +120,15 @@ def affine_kv_machine(
         next_state_polys=next_state,
         output_polys=outputs,
     )
+    # Only the scale-1 machine has an identity command (the zero write);
+    # for other scales an idle key still decays by ``scale`` per round, so no
+    # noop is configured and padding falls back to the documented zero write.
     return StateMachine(
         field=field,
         transition=transition,
         initial_state=np.zeros(num_keys, dtype=np.int64),
         name=name,
+        noop=np.zeros(num_keys, dtype=np.int64) if scale == 1 else None,
     )
 
 
@@ -151,11 +159,13 @@ def quadratic_market_machine(field: Field, name: str = "quadratic-market") -> St
         next_state_polys=[next_inventory, next_price],
         output_polys=[trade_value, next_price],
     )
+    # Zero quantity is an identity transition (no inventory or price move).
     return StateMachine(
         field=field,
         transition=transition,
         initial_state=field.array([0, 1]),
         name=name,
+        noop=np.zeros(2, dtype=np.int64),
     )
 
 
@@ -191,11 +201,13 @@ def dot_product_machine(
     )
     initial = np.zeros(state_dim, dtype=np.int64)
     initial[1:] = 1
+    # The zero feature vector contributes <w, 0> = 0: identity transition.
     return StateMachine(
         field=field,
         transition=transition,
         initial_state=initial,
         name=name,
+        noop=np.zeros(vector_dim, dtype=np.int64),
     )
 
 

@@ -21,11 +21,13 @@ from repro.replication.client import OutputCollector, majority_value
 from repro.replication.full import FullReplicationSMR
 from repro.replication.partial import PartialReplicationSMR
 from repro.replication.base import RoundResult
+from repro.replication.protocol import ReplicationProtocol
 
 __all__ = [
     "OutputCollector",
     "majority_value",
     "FullReplicationSMR",
     "PartialReplicationSMR",
+    "ReplicationProtocol",
     "RoundResult",
 ]

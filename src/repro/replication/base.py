@@ -100,3 +100,13 @@ class BatchExecutionMixin:
         """Execute ``B`` rounds: ``(B, K, command_dim)`` commands, in order."""
         arr = self._validate_batch(commands_batch)
         return [self.execute_round(arr[b]) for b in range(arr.shape[0])]
+
+    def noop_round(self) -> np.ndarray:
+        """A full ``(K, command_dim)`` round of the machine's no-op command.
+
+        The round scheduler pads individual idle machines with
+        :meth:`~repro.machine.interface.StateMachine.noop_command`; this
+        helper builds the degenerate all-idle round, used by tests and
+        benchmarks to exercise empty scheduler ticks against any engine.
+        """
+        return np.tile(self.machine.noop_command(), (self.num_machines, 1))

@@ -47,17 +47,27 @@ class OutputCollector:
             self.add_response(node_id, output)
 
     def accept_with_threshold(self, threshold: int) -> tuple[int, ...] | None:
-        """Return the first value supported by at least ``threshold`` nodes.
+        """Return the unique value supported by at least ``threshold`` nodes.
 
         This is the "wait for ``b + 1`` matching responses" rule: with
         ``threshold = b + 1`` a returned value is guaranteed to have an honest
-        supporter, hence to be correct.
+        supporter, hence to be correct.  If two *distinct* values both reach
+        the threshold, each was backed by at least one honest node under the
+        assumed fault bound — mutually contradictory evidence that means the
+        adversary exceeded the bound.  Accepting whichever value ``Counter``
+        insertion order happens to rank first would silently pick one of two
+        conflicting outputs, so that case raises :class:`SecurityViolation`
+        instead.
         """
         counts = Counter(self.responses.values())
-        for value, count in counts.most_common():
-            if count >= threshold:
-                return value
-        return None
+        reaching = [value for value, count in counts.most_common() if count >= threshold]
+        if len(reaching) > 1:
+            raise SecurityViolation(
+                f"{len(reaching)} distinct outputs for machine {self.machine_index} "
+                f"round {self.round_index} each reached the acceptance threshold "
+                f"{threshold} — the fault bound is broken"
+            )
+        return reaching[0] if reaching else None
 
     def accept_majority(self) -> tuple[int, ...] | None:
         """Majority rule over all received responses."""

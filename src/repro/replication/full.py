@@ -140,7 +140,12 @@ class FullReplicationSMR(BatchExecutionMixin):
                 ok = False
             if not ok:
                 correct = False
-                accepted = collectors[k].accept_with_threshold(threshold)
+                try:
+                    accepted = collectors[k].accept_with_threshold(threshold)
+                except SecurityViolation:
+                    # Two conflicting outputs both reached the threshold: the
+                    # client accepts neither value.
+                    accepted = None
                 if accepted is not None:
                     accepted_outputs[k] = np.array(accepted, dtype=np.int64)
             else:

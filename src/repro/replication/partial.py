@@ -132,6 +132,7 @@ class PartialReplicationSMR(BatchExecutionMixin):
             # where b_k is the number of faults in the group, which the client
             # cannot know — so the standard rule is group-majority).
             threshold = self.group_size // 2 + 1
+            accepted = None
             try:
                 accepted = collector.accept_with_threshold(threshold)
                 ok = accepted is not None and accepted == tuple(
@@ -142,8 +143,11 @@ class PartialReplicationSMR(BatchExecutionMixin):
                         f"machine {k}: client accepted an incorrect output"
                     )
             except SecurityViolation:
+                # Either the client accepted a single wrong value (kept in
+                # ``accepted`` for the record) or two conflicting values both
+                # reached the threshold (``accepted`` stays None: the client
+                # accepts neither).
                 ok = False
-                accepted = collector.accept_with_threshold(threshold)
             if ok:
                 accepted_outputs[k] = reference_outputs[k]
             else:

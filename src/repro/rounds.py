@@ -1,0 +1,149 @@
+"""Shared round-protocol surface: the per-round record and the driver interface.
+
+The client-session service (:mod:`repro.service`) must be able to drive any
+round-executing backend — the coded :class:`~repro.core.protocol.CSMProtocol`
+and the replication baselines behind
+:class:`~repro.replication.protocol.ReplicationProtocol` — through one
+interface.  :class:`RoundProtocol` is that interface, extracted from the
+parts ``CSMProtocol`` and :mod:`repro.replication.base` used to duplicate:
+
+* :class:`ProtocolRound` — the per-round history record (consensus decision
+  plus execution result);
+* verified output delivery (outputs of a round that failed verification are
+  never handed to clients; the failure is recorded instead);
+* the reporting helpers (``all_rounds_correct``, ``failed_rounds``,
+  ``measured_throughput``).
+
+Backends implement :meth:`RoundProtocol.run_rounds_batched`, which accepts
+``B`` pre-grouped rounds of exactly one command per machine, plus (new in
+this interface) the per-round client identities, so the service can attribute
+each delivered output to the :class:`~repro.service.tickets.CommandTicket`
+that submitted it instead of relying on reused ``client:k`` labels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.machine.interface import StateMachine
+    from repro.replication.base import RoundResult
+
+
+@dataclass
+class ProtocolRound:
+    """One completed protocol round: the consensus decision plus execution result."""
+
+    round_index: int
+    commands: np.ndarray
+    clients: list[str]
+    result: RoundResult
+    consensus_views: int = 0
+
+    @property
+    def correct(self) -> bool:
+        return self.result.correct
+
+
+class RoundProtocol(ABC):
+    """A backend that executes pre-grouped rounds of one command per machine.
+
+    Subclasses must set :attr:`machine` (the template
+    :class:`~repro.machine.interface.StateMachine`), call
+    :meth:`_init_round_state` during construction, and implement
+    :meth:`num_machines` and :meth:`run_rounds_batched`.  Everything a client
+    of the round history needs — verified delivery, failure book-keeping and
+    the throughput report — is shared here.
+    """
+
+    machine: StateMachine
+
+    def _init_round_state(self) -> None:
+        """Initialise the shared history/delivery state (call from __init__)."""
+        self.history: list[ProtocolRound] = []
+        self.delivered_outputs: dict[str, list[np.ndarray]] = {}
+        # Rounds whose verification failed never reach the clients; they are
+        # recorded here (client id -> failed round indices) instead.
+        self.failed_deliveries: dict[str, list[int]] = {}
+
+    # -- backend surface ----------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_machines(self) -> int:
+        """``K`` — the number of logical state machines the backend hosts."""
+
+    @abstractmethod
+    def run_rounds_batched(
+        self,
+        command_batches: Sequence[np.ndarray],
+        client_rounds: Sequence[Sequence[str]] | None = None,
+    ) -> list[ProtocolRound]:
+        """Execute ``B`` rounds of one command per machine, in order.
+
+        ``client_rounds[b][k]`` names the client whose command occupies
+        machine ``k`` in round ``b``; when omitted, backends fall back to the
+        legacy ``client:k`` labels.  Returns the appended
+        :class:`ProtocolRound` records.
+        """
+
+    # -- shared history/delivery --------------------------------------------------------
+    def _record_round(
+        self,
+        commands: np.ndarray,
+        clients: Sequence[str],
+        result: RoundResult,
+        view: int = 0,
+    ) -> ProtocolRound:
+        """Append the round record and deliver (only) verified outputs."""
+        record = ProtocolRound(
+            round_index=len(self.history),
+            commands=commands,
+            clients=list(clients),
+            result=result,
+            consensus_views=view,
+        )
+        self.history.append(record)
+        if result.correct:
+            for k, client_id in enumerate(record.clients):
+                self.delivered_outputs.setdefault(client_id, []).append(
+                    result.outputs[k].copy()
+                )
+        else:
+            # A failed round must not hand unverified values to clients; it
+            # is recorded so clients can observe the gap and resubmit.
+            for client_id in record.clients:
+                self.failed_deliveries.setdefault(client_id, []).append(
+                    record.round_index
+                )
+        return record
+
+    # -- reporting ----------------------------------------------------------------------
+    @property
+    def all_rounds_correct(self) -> bool:
+        return all(record.correct for record in self.history)
+
+    @property
+    def failed_rounds(self) -> int:
+        """Number of completed rounds whose verification failed."""
+        return sum(1 for record in self.history if not record.correct)
+
+    def measured_throughput(self) -> float:
+        """Average commands per unit per-node operation across completed rounds.
+
+        Rounds with a non-finite throughput (degenerate zero-operation
+        rounds) are excluded from the mean; if *no* round produced a finite
+        throughput the result is ``0.0`` — never ``inf``, which would poison
+        downstream averages.  ``failed_rounds`` reports how many rounds
+        failed verification, matching the measurement-harness semantics.
+        """
+        if not self.history:
+            return 0.0
+        throughputs = [
+            record.result.throughput(self.num_machines) for record in self.history
+        ]
+        finite = [t for t in throughputs if np.isfinite(t)]
+        return float(np.mean(finite)) if finite else 0.0

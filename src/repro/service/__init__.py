@@ -1,0 +1,31 @@
+"""Client-session serving layer over any round-driving backend.
+
+The canonical client API of the reproduction (see the README's "Serving
+clients" section):
+
+* :class:`~repro.service.service.CSMService` — wraps a
+  :class:`~repro.rounds.RoundProtocol` backend (the coded
+  :class:`~repro.core.protocol.CSMProtocol` or a replication baseline via
+  :class:`~repro.replication.protocol.ReplicationProtocol`);
+* :class:`~repro.service.service.ClientSession` — per-client handle returned
+  by ``service.connect(client_id)``;
+* :class:`~repro.service.tickets.CommandTicket` /
+  :class:`~repro.service.tickets.TicketState` — per-command lifecycle
+  (``PENDING -> COMMITTED -> EXECUTED | FAILED``) and delivered output;
+* :class:`~repro.service.scheduler.RoundScheduler` — adaptive batching of
+  ragged traffic with noop padding for idle machines.
+"""
+
+from repro.service.scheduler import NOOP_CLIENT, RoundScheduler, ScheduledRound
+from repro.service.service import ClientSession, CSMService
+from repro.service.tickets import CommandTicket, TicketState
+
+__all__ = [
+    "NOOP_CLIENT",
+    "CSMService",
+    "ClientSession",
+    "CommandTicket",
+    "RoundScheduler",
+    "ScheduledRound",
+    "TicketState",
+]

@@ -1,0 +1,110 @@
+"""Adaptive round scheduling: draining ragged traffic into batched rounds.
+
+The paper's protocol is client-driven — commands arrive whenever clients
+have them — but the batched round pipeline wants dense ``(K, command_dim)``
+rounds.  :class:`RoundScheduler` bridges the two: it drains the service's
+ingress :class:`~repro.consensus.command_pool.CommandPool` FIFO into up to
+``max_batch_rounds`` rounds per tick, padding machines with empty queues
+with the machine's :meth:`~repro.machine.interface.StateMachine.noop_command`
+(an identity transition for the library machines), so idle machines, bursty
+multi-command clients and partially-filled rounds are all first-class.
+
+``min_fill`` makes the batching adaptive: a round is only formed once at
+least that many machines have a real pending command, so a nearly-idle
+system waits for traffic to accumulate instead of burning consensus rounds
+on noop padding — except under ``flush=True``, which drains every pending
+command regardless of fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.consensus.command_pool import CommandPool, SubmittedCommand
+from repro.exceptions import ConfigurationError
+from repro.machine.interface import StateMachine
+
+#: Client label attached to noop padding slots in the backend's round record.
+NOOP_CLIENT = "service:noop"
+
+
+@dataclass
+class ScheduledRound:
+    """One planned round: dense commands, per-slot clients, per-slot tickets.
+
+    ``entries[k]`` is the dequeued pool entry whose ticket owns machine
+    ``k``'s slot, or ``None`` where the slot is noop padding.
+    """
+
+    commands: np.ndarray
+    clients: list[str]
+    entries: list[SubmittedCommand | None]
+
+    @property
+    def fill(self) -> int:
+        """Number of real (non-padding) commands in the round."""
+        return sum(1 for entry in self.entries if entry is not None)
+
+
+class RoundScheduler:
+    """Drains a command pool into adaptive batches of dense rounds."""
+
+    def __init__(
+        self,
+        pool: CommandPool,
+        machine: StateMachine,
+        max_batch_rounds: int = 8,
+        min_fill: int = 1,
+    ) -> None:
+        if max_batch_rounds < 1:
+            raise ConfigurationError(
+                f"max_batch_rounds must be positive, got {max_batch_rounds}"
+            )
+        if not 1 <= min_fill <= pool.num_machines:
+            raise ConfigurationError(
+                f"min_fill must be in [1, {pool.num_machines}], got {min_fill}"
+            )
+        self.pool = pool
+        self.machine = machine
+        self.max_batch_rounds = int(max_batch_rounds)
+        self.min_fill = int(min_fill)
+        self._noop_row = [int(v) for v in machine.noop_command()]
+
+    def plan(self, flush: bool = False) -> list[ScheduledRound]:
+        """Dequeue up to ``max_batch_rounds`` rounds of pending commands.
+
+        Each planned round takes the FIFO-next command of every machine that
+        has one and pads the rest with the machine's noop command.  Planning
+        stops when the pool is empty, the batch is full, or the next round
+        would fall below ``min_fill`` real commands (unless ``flush``).
+        An empty tick returns ``[]`` without touching the pool.
+        """
+        rounds: list[ScheduledRound] = []
+        while len(rounds) < self.max_batch_rounds:
+            filled = self.pool.pending_machines()
+            if filled == 0:
+                break
+            if filled < self.min_fill and not flush:
+                break
+            commands: list[list[int]] = []
+            clients: list[str] = []
+            entries: list[SubmittedCommand | None] = []
+            for k in range(self.pool.num_machines):
+                entry = self.pool.dequeue_next(k)
+                entries.append(entry)
+                if entry is None:
+                    commands.append(self._noop_row)
+                    clients.append(NOOP_CLIENT)
+                else:
+                    commands.append(list(entry.command))
+                    clients.append(entry.client_id)
+            rounds.append(
+                ScheduledRound(
+                    commands=np.array(commands, dtype=np.int64),
+                    clients=clients,
+                    entries=entries,
+                )
+            )
+        return rounds

@@ -1,0 +1,268 @@
+"""The client-session service: the canonical client-facing CSM API.
+
+:class:`CSMService` wraps any round-driving backend — the coded
+:class:`~repro.core.protocol.CSMProtocol` or a replication baseline behind
+:class:`~repro.replication.protocol.ReplicationProtocol` — via the shared
+:class:`~repro.rounds.RoundProtocol` interface, and accepts arbitrary ragged
+command streams instead of pre-grouped lockstep rounds:
+
+>>> service = CSMService(protocol)                       # doctest: +SKIP
+>>> session = service.connect("alice")                   # doctest: +SKIP
+>>> ticket = session.submit(2, [100, 50])                # doctest: +SKIP
+>>> service.drain()                                      # doctest: +SKIP
+>>> ticket.state, ticket.result()                        # doctest: +SKIP
+
+Commands land in an ingress :class:`~repro.consensus.command_pool.CommandPool`
+as :class:`~repro.service.tickets.CommandTicket`\\ s; the
+:class:`~repro.service.scheduler.RoundScheduler` drains them into adaptive
+dense batches (idle machines padded with the machine's no-op command) and
+drives the backend's batched round pipeline.  Outputs come back through the
+ticket lifecycle — ``PENDING -> COMMITTED -> EXECUTED | FAILED`` — so a
+client observes exactly which of *its* commands executed with which output,
+rather than digging through a dict keyed by reused ``client:k`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.consensus.command_pool import CommandPool
+from repro.exceptions import ConfigurationError, ConsensusError, ServiceError
+from repro.rounds import ProtocolRound, RoundProtocol
+from repro.service.scheduler import RoundScheduler, ScheduledRound
+from repro.service.tickets import CommandTicket, TicketState
+
+
+class ClientSession:
+    """A connected client: submits commands, tracks its own tickets."""
+
+    def __init__(self, service: "CSMService", client_id: str) -> None:
+        self.service = service
+        self.client_id = client_id
+        self.tickets: list[CommandTicket] = []
+
+    def submit(self, machine_index: int, command) -> CommandTicket:
+        """Queue one command for ``machine_index``; returns its ticket."""
+        ticket = self.service._submit(self.client_id, machine_index, command)
+        self.tickets.append(ticket)
+        return ticket
+
+    def outputs(self) -> list[np.ndarray]:
+        """Delivered outputs (copies) of executed tickets, in order."""
+        return [
+            ticket.result()
+            for ticket in self.tickets
+            if ticket.state is TicketState.EXECUTED
+        ]
+
+    def pending(self) -> list[CommandTicket]:
+        """Tickets not yet in a terminal state."""
+        return [ticket for ticket in self.tickets if not ticket.done]
+
+
+class CSMService:
+    """Serves ragged client traffic over a round-driving backend.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.rounds.RoundProtocol` implementation.
+    max_batch_rounds:
+        Most rounds one :meth:`drive` call hands to the backend's batched
+        pipeline (the batch the cached-matrix path amortises over).
+    min_fill:
+        Fewest machines that must have a real pending command before a
+        round is formed (adaptive batching); :meth:`drive` with
+        ``flush=True`` and :meth:`drain` override it.
+    """
+
+    def __init__(
+        self,
+        backend: RoundProtocol,
+        max_batch_rounds: int = 8,
+        min_fill: int = 1,
+    ) -> None:
+        if not isinstance(backend, RoundProtocol):
+            raise ConfigurationError(
+                f"backend {type(backend).__name__} does not implement RoundProtocol"
+            )
+        self.backend = backend
+        self.pool = CommandPool(num_machines=backend.num_machines)
+        self.scheduler = RoundScheduler(
+            self.pool,
+            backend.machine,
+            max_batch_rounds=max_batch_rounds,
+            min_fill=min_fill,
+        )
+        self._sessions: dict[str, ClientSession] = {}
+        self._tickets_by_sequence: dict[int, CommandTicket] = {}
+
+    # -- client surface -----------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return self.backend.num_machines
+
+    def connect(self, client_id: str) -> ClientSession:
+        """Open (or re-join) the session for ``client_id``."""
+        client_id = str(client_id)
+        session = self._sessions.get(client_id)
+        if session is None:
+            session = ClientSession(self, client_id)
+            self._sessions[client_id] = session
+        return session
+
+    def tickets(self) -> list[CommandTicket]:
+        """Every ticket the service has issued, in submission order."""
+        return [
+            self._tickets_by_sequence[seq]
+            for seq in sorted(self._tickets_by_sequence)
+        ]
+
+    def pending_commands(self) -> int:
+        """Commands queued but not yet scheduled into a round."""
+        return self.pool.total_pending()
+
+    # -- scheduling / driving -----------------------------------------------------------
+    def drive(self, flush: bool = False) -> list[ProtocolRound]:
+        """One scheduler tick: plan adaptive batches and run them.
+
+        Returns the backend's round records for the rounds driven this tick
+        (``[]`` on an empty or below-``min_fill`` tick).  Tickets scheduled
+        into the tick move to ``COMMITTED`` and then ``EXECUTED`` (verified
+        round) or ``FAILED`` (unverified round); if the backend raises
+        mid-drive the scheduled tickets are failed before the error
+        propagates, so no ticket is silently lost.
+        """
+        planned = self.scheduler.plan(flush=flush)
+        if not planned:
+            return []
+        try:
+            records = self.backend.run_rounds_batched(
+                [round_.commands for round_ in planned],
+                client_rounds=[round_.clients for round_ in planned],
+            )
+        except Exception as exc:
+            for round_ in planned:
+                self._fail_round(round_, f"backend error: {exc}")
+            raise
+        try:
+            if len(records) != len(planned):
+                raise ServiceError(
+                    f"backend returned {len(records)} round records for "
+                    f"{len(planned)} scheduled rounds"
+                )
+            for round_, record in zip(planned, records):
+                self._resolve_round(round_, record)
+        except Exception as exc:
+            # A resolution abort (decided-command mismatch, record-count
+            # mismatch) must not strand the tick's remaining tickets in a
+            # non-terminal state: fail everything still open, then raise.
+            for round_ in planned:
+                self._fail_round(round_, f"round resolution aborted: {exc}")
+            raise
+        return records
+
+    def drain(self) -> list[ProtocolRound]:
+        """Drive until every queued command has been scheduled and executed."""
+        records: list[ProtocolRound] = []
+        while self.pool.total_pending():
+            driven = self.drive(flush=True)
+            if not driven:  # pragma: no cover - defensive: flush always drains
+                raise ServiceError("scheduler made no progress while draining")
+            records.extend(driven)
+        return records
+
+    # -- legacy lockstep wrapper --------------------------------------------------------
+    @classmethod
+    def run_lockstep(
+        cls,
+        backend: RoundProtocol,
+        command_batches: Sequence[np.ndarray],
+        client_prefix: str = "client",
+    ) -> list[ProtocolRound]:
+        """Drive pre-grouped one-command-per-machine rounds through a service.
+
+        This is the compatibility shape of the pre-service API
+        (``submit_round_of_commands`` + ``run_rounds_batched``): batch ``b``
+        row ``k`` is submitted by session ``{client_prefix}:{k}`` and the
+        scheduler — pinned to full rounds — reproduces exactly one round per
+        batch, in order, with the legacy client labels.
+        """
+        if not len(command_batches):
+            return []
+        service = cls(
+            backend,
+            max_batch_rounds=len(command_batches),
+            min_fill=backend.num_machines,
+        )
+        # Canonicalise every batch before any submission: a malformed batch
+        # must fail fast, before consensus sees any of the rounds.
+        batches = [
+            service.pool.canonical_round(batch) for batch in command_batches
+        ]
+        sessions = [
+            service.connect(f"{client_prefix}:{k}")
+            for k in range(backend.num_machines)
+        ]
+        for batch in batches:
+            for k, session in enumerate(sessions):
+                session.submit(k, batch[k])
+        records = service.drive()
+        if len(records) != len(batches):  # pragma: no cover - defensive
+            raise ServiceError(
+                f"lockstep drive produced {len(records)} rounds for "
+                f"{len(batches)} batches"
+            )
+        return records
+
+    # -- internals ----------------------------------------------------------------------
+    def _submit(self, client_id: str, machine_index: int, command) -> CommandTicket:
+        row = np.asarray(command).reshape(-1)
+        if row.shape[0] != self.backend.machine.command_dim:
+            raise ConfigurationError(
+                f"command has dimension {row.shape[0]}, machine expects "
+                f"{self.backend.machine.command_dim}"
+            )
+        entry = self.pool.submit(machine_index, client_id, row)
+        ticket = CommandTicket(
+            client_id=client_id,
+            machine_index=entry.machine_index,
+            command=entry.command,
+            sequence=entry.sequence,
+        )
+        self._tickets_by_sequence[entry.sequence] = ticket
+        return ticket
+
+    def _resolve_round(self, planned: ScheduledRound, record: ProtocolRound) -> None:
+        for k, entry in enumerate(planned.entries):
+            if entry is None:
+                continue  # noop padding owns no ticket
+            ticket = self._tickets_by_sequence[entry.sequence]
+            decided = tuple(int(v) for v in np.asarray(record.commands[k]))
+            if decided != ticket.command:
+                ticket._fail(
+                    f"consensus decided {decided} for machine {k}, not the "
+                    f"scheduled command {ticket.command}"
+                )
+                raise ConsensusError(
+                    f"round {record.round_index} decided a different command for "
+                    f"machine {k} than the scheduler submitted"
+                )
+            ticket._commit(record.round_index)
+            if record.correct:
+                ticket._execute(record.result.outputs[k])
+            else:
+                ticket._fail(
+                    f"round {record.round_index} failed verification; output "
+                    "withheld"
+                )
+
+    def _fail_round(self, planned: ScheduledRound, reason: str) -> None:
+        for entry in planned.entries:
+            if entry is None:
+                continue
+            ticket = self._tickets_by_sequence[entry.sequence]
+            if not ticket.done:
+                ticket._fail(reason)

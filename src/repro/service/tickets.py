@@ -1,0 +1,133 @@
+"""Command tickets: the per-command lifecycle handle the service returns.
+
+Submitting a command through a :class:`~repro.service.service.ClientSession`
+returns a :class:`CommandTicket`.  The ticket replaces the protocol's lossy
+``delivered_outputs`` dict (keyed by reused ``client:k`` labels) with an
+explicit, per-command lifecycle:
+
+``PENDING``
+    queued in the service's command pool, not yet scheduled;
+``COMMITTED``
+    a scheduled round's consensus decided this exact command;
+``EXECUTED``
+    the round's decode verified and the command's output was delivered —
+    :attr:`CommandTicket.output` holds it;
+``FAILED``
+    the round failed verification (no output is ever delivered from an
+    unverified round), the backend raised mid-drive, or consensus decided a
+    different command than the scheduler placed.
+
+The only legal transitions are ``PENDING -> COMMITTED``,
+``COMMITTED -> EXECUTED | FAILED`` and the scheduler-abort edge
+``PENDING -> FAILED``; anything else raises
+:class:`~repro.exceptions.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+
+
+class TicketState(enum.Enum):
+    """Lifecycle states of a :class:`CommandTicket`."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    EXECUTED = "executed"
+    FAILED = "failed"
+
+
+_LEGAL_TRANSITIONS: dict[TicketState, frozenset[TicketState]] = {
+    TicketState.PENDING: frozenset({TicketState.COMMITTED, TicketState.FAILED}),
+    TicketState.COMMITTED: frozenset({TicketState.EXECUTED, TicketState.FAILED}),
+    TicketState.EXECUTED: frozenset(),
+    TicketState.FAILED: frozenset(),
+}
+
+
+@dataclass
+class CommandTicket:
+    """One submitted command and its delivery lifecycle.
+
+    Attributes
+    ----------
+    client_id:
+        The session that submitted the command.
+    machine_index:
+        The state machine the command targets.
+    command:
+        The submitted command payload (canonical integer tuple).
+    sequence:
+        The service-pool submission sequence — unique per service, and the
+        key that ties the scheduled pool entry back to this ticket.
+    state:
+        Current :class:`TicketState`.
+    round_index:
+        The backend round that committed the command (set on commit).
+    output:
+        The delivered output vector (set only when ``EXECUTED``).
+    error:
+        Human-readable failure reason (set only when ``FAILED``).
+    state_history:
+        Every state the ticket has been in, in order (starts ``PENDING``).
+    """
+
+    client_id: str
+    machine_index: int
+    command: tuple[int, ...]
+    sequence: int
+    state: TicketState = TicketState.PENDING
+    round_index: int | None = None
+    output: np.ndarray | None = None
+    error: str | None = None
+    state_history: list[TicketState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.state_history:
+            self.state_history = [self.state]
+
+    # -- lifecycle ----------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the ticket reached a terminal state."""
+        return self.state in (TicketState.EXECUTED, TicketState.FAILED)
+
+    def result(self) -> np.ndarray:
+        """A copy of the delivered output; raises unless ``EXECUTED``.
+
+        A copy, so callers post-processing the value cannot corrupt the
+        ticket's record of what the protocol actually delivered.
+        """
+        if self.state is not TicketState.EXECUTED:
+            raise ServiceError(
+                f"ticket {self.sequence} ({self.client_id} -> machine "
+                f"{self.machine_index}) is {self.state.value}, not executed"
+            )
+        assert self.output is not None
+        return self.output.copy()
+
+    def _advance(self, new_state: TicketState) -> None:
+        if new_state not in _LEGAL_TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"illegal ticket transition {self.state.value} -> "
+                f"{new_state.value} for sequence {self.sequence}"
+            )
+        self.state = new_state
+        self.state_history.append(new_state)
+
+    def _commit(self, round_index: int) -> None:
+        self._advance(TicketState.COMMITTED)
+        self.round_index = int(round_index)
+
+    def _execute(self, output: np.ndarray) -> None:
+        self._advance(TicketState.EXECUTED)
+        self.output = np.asarray(output).copy()
+
+    def _fail(self, reason: str) -> None:
+        self._advance(TicketState.FAILED)
+        self.error = reason

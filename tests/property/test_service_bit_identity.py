@@ -1,0 +1,149 @@
+"""Property test: service-scheduled lockstep traffic ≡ ``run_rounds_batched``.
+
+The client-session service takes yet another route into the protocol —
+commands land in the service's ingress pool as tickets, the round scheduler
+dequeues them into dense batches, and the backend is driven with explicit
+per-round client identities.  When the traffic happens to be exactly one
+command per machine per round (the old lockstep shape), the recorded
+:class:`~repro.rounds.ProtocolRound` history must be *bit-identical* to the
+legacy ``run_rounds_batched`` entry point, across network models, machines
+and admissible Byzantine fault patterns — and every ticket must come back
+``EXECUTED`` with exactly the output the legacy path delivered.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.exceptions import ConfigurationError
+from repro.gf.prime_field import PrimeField
+from repro.machine.library import bank_account_machine, quadratic_market_machine
+from repro.net.byzantine import (
+    CorruptResultBehavior,
+    RandomGarbageBehavior,
+    SilentBehavior,
+)
+from repro.service import CSMService, TicketState
+
+FIELD = PrimeField()
+
+relaxed = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+BEHAVIOR_FACTORIES = (
+    RandomGarbageBehavior,
+    SilentBehavior,
+    lambda: CorruptResultBehavior(offset=3),
+)
+
+
+def _valid_config(num_nodes, num_faults, degree, partially_synchronous):
+    for k in range(min(4, num_nodes), 0, -1):
+        try:
+            return CSMConfig(
+                FIELD,
+                num_nodes=num_nodes,
+                num_machines=k,
+                degree=degree,
+                num_faults=num_faults,
+                partially_synchronous=partially_synchronous,
+            )
+        except ConfigurationError:
+            continue
+    return None
+
+
+class TestServiceBitIdentity:
+    @relaxed
+    @given(data=st.data())
+    def test_full_rounds_match_run_rounds_batched(self, data):
+        partially_synchronous = data.draw(st.booleans(), label="psync")
+        num_nodes = data.draw(st.sampled_from([6, 9, 12]), label="N")
+        quadratic = data.draw(st.booleans(), label="quadratic")
+        machine = (
+            quadratic_market_machine(FIELD)
+            if quadratic
+            else bank_account_machine(FIELD, num_accounts=2)
+        )
+        fault_cap = (num_nodes - 1) // 3 if partially_synchronous else num_nodes // 4
+        num_faults = data.draw(st.integers(0, min(2, fault_cap)), label="b")
+        config = _valid_config(
+            num_nodes, num_faults, machine.degree, partially_synchronous
+        )
+        if config is None:
+            return  # bounds leave no admissible K for this draw
+        fault_indices = data.draw(
+            st.lists(
+                st.integers(0, num_nodes - 1),
+                min_size=num_faults,
+                max_size=num_faults,
+                unique=True,
+            ),
+            label="fault_indices",
+        )
+        behaviors = {
+            f"node-{index}": BEHAVIOR_FACTORIES[
+                data.draw(st.integers(0, len(BEHAVIOR_FACTORIES) - 1))
+            ]()
+            for index in fault_indices
+        }
+        num_rounds = data.draw(st.integers(1, 4), label="rounds")
+        command_rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        batches = [
+            command_rng.integers(
+                1, 1000, size=(config.num_machines, machine.command_dim)
+            )
+            for _ in range(num_rounds)
+        ]
+
+        legacy = CSMProtocol(
+            config, machine, dict(behaviors), rng=np.random.default_rng(5)
+        )
+        legacy_records = legacy.run_rounds_batched(batches)
+
+        served = CSMProtocol(
+            config, machine, dict(behaviors), rng=np.random.default_rng(5)
+        )
+        service = CSMService(
+            served,
+            max_batch_rounds=num_rounds,
+            min_fill=config.num_machines,
+        )
+        # Lockstep traffic through the session API: machine k's commands come
+        # from session "client:k", matching the legacy labels exactly.
+        sessions = [
+            service.connect(f"client:{k}") for k in range(config.num_machines)
+        ]
+        tickets = []
+        for batch in batches:
+            tickets.append(
+                [sessions[k].submit(k, batch[k]) for k in range(config.num_machines)]
+            )
+        service_records = service.drain()
+
+        assert len(legacy_records) == len(service_records) == num_rounds
+        for leg, srv in zip(legacy_records, service_records):
+            assert leg.round_index == srv.round_index
+            assert np.array_equal(leg.commands, srv.commands)
+            assert leg.clients == srv.clients
+            assert leg.consensus_views == srv.consensus_views
+            assert np.array_equal(leg.result.outputs, srv.result.outputs)
+            assert np.array_equal(leg.result.states, srv.result.states)
+            assert leg.result.correct == srv.result.correct
+            assert (
+                leg.result.diagnostics["error_nodes"]
+                == srv.result.diagnostics["error_nodes"]
+            )
+        assert legacy.failed_rounds == served.failed_rounds
+
+        # Ticket-level delivery agrees with the legacy delivered_outputs.
+        for round_tickets, record in zip(tickets, service_records):
+            for k, ticket in enumerate(round_tickets):
+                if record.correct:
+                    assert ticket.state is TicketState.EXECUTED
+                    assert np.array_equal(ticket.result(), record.result.outputs[k])
+                else:
+                    assert ticket.state is TicketState.FAILED
+                    assert ticket.output is None

@@ -32,14 +32,42 @@ class TestCommandPool:
         assert [e.machine_index for e in entries] == [0, 1, 2]
         assert pool.total_pending() == 3
 
-    def test_mark_executed_removes_only_matching(self):
+    def test_mark_executed_removes_by_sequence(self):
         pool = CommandPool(num_machines=1)
         first = pool.submit(0, "alice", [1])
-        pool.submit(0, "alice", [2])
-        pool.mark_executed(0, first)
-        assert pool.peek_next(0).command == (2,)
-        pool.mark_executed(0, first)  # idempotent
+        # A resubmission of the same payload by the same client gets its own
+        # sequence; removal must take the decided entry, not "any match".
+        duplicate = pool.submit(0, "alice", [1])
+        pool.mark_executed(0, duplicate)
+        assert pool.peek_next(0).sequence == first.sequence
         assert pool.pending(0) == 1
+
+    def test_mark_executed_unknown_command_raises(self):
+        pool = CommandPool(num_machines=1)
+        first = pool.submit(0, "alice", [1])
+        pool.mark_executed(0, first)
+        with pytest.raises(ConsensusError):
+            pool.mark_executed(0, first)  # already removed: unknown decision
+
+    def test_mark_executed_tampered_entry_raises(self):
+        from dataclasses import replace
+
+        pool = CommandPool(num_machines=1)
+        entry = pool.submit(0, "alice", [1])
+        forged = replace(entry, client_id="mallory")
+        with pytest.raises(ConsensusError):
+            pool.mark_executed(0, forged)
+        assert pool.pending(0) == 1  # the real entry is untouched
+
+    def test_dequeue_next_pops_fifo(self):
+        pool = CommandPool(num_machines=2)
+        first = pool.submit(0, "alice", [1])
+        pool.submit(0, "bob", [2])
+        popped = pool.dequeue_next(0)
+        assert popped.sequence == first.sequence
+        assert pool.pending(0) == 1
+        assert pool.dequeue_next(1) is None
+        assert pool.pending_machines() == 1
 
     def test_validity_history(self):
         pool = CommandPool(num_machines=1)
@@ -47,6 +75,17 @@ class TestCommandPool:
         assert pool.was_submitted(0, [7], "alice")
         assert not pool.was_submitted(0, [8], "alice")
         assert not pool.was_submitted(0, [7], "mallory")
+
+    def test_matches_pending_binds_sequences(self):
+        pool = CommandPool(num_machines=1)
+        entry = pool.submit(0, "alice", [7])
+        assert pool.matches_pending(0, [7], "alice", entry.sequence)
+        assert not pool.matches_pending(0, [7], "alice", entry.sequence + 1)
+        assert not pool.matches_pending(0, [8], "alice", entry.sequence)
+        assert not pool.matches_pending(0, [7], "mallory", entry.sequence)
+        pool.dequeue_next(0)
+        # No longer pending: the binding (unlike was_submitted) expires.
+        assert not pool.matches_pending(0, [7], "alice", entry.sequence)
 
     def test_machine_index_validation(self):
         pool = CommandPool(num_machines=1)
@@ -76,6 +115,21 @@ class TestAuthenticatedBroadcast:
         assert len(tuples) == 1
         assert decisions["node-0"].commands.tolist() == [[10], [20], [30]]
         assert pool.total_pending() == 0  # decided commands consumed
+
+    def test_forged_sequence_proposal_is_invalid(self):
+        # A payload whose commands/clients are genuine but whose sequences
+        # were forged (or stripped) must fail validity — the leader cannot
+        # steer which pool entries get removed, and honest nodes view-change
+        # instead of crashing in mark_executed after deciding it.
+        protocol, pool = _sync_setup(4, 2)
+        selected = pool.peek_round()
+        genuine = protocol._payload_from_selection(selected)
+        assert protocol._is_valid_proposal(genuine)
+        forged = dict(genuine)
+        forged["sequences"] = [s + 100 for s in genuine["sequences"]]
+        assert not protocol._is_valid_proposal(forged)
+        stripped = {k: v for k, v in genuine.items() if k != "sequences"}
+        assert not protocol._is_valid_proposal(stripped)
 
     def test_validity_decided_commands_were_submitted(self):
         protocol, pool = _sync_setup(4, 2)

@@ -38,6 +38,21 @@ class TestOutputCollector:
         collector.add_response("a", np.array([5]))
         assert collector.verify_against(np.array([5]), threshold=1)
 
+    def test_conflicting_threshold_values_raise(self):
+        # Two *distinct* values each backed by >= threshold nodes means at
+        # least one honest node supported each — the fault bound is broken,
+        # and picking the Counter-insertion-order winner would be arbitrary.
+        collector = OutputCollector(machine_index=0, round_index=0)
+        collector.add_response("a", np.array([5]))
+        collector.add_response("b", np.array([5]))
+        collector.add_response("c", np.array([9]))
+        collector.add_response("d", np.array([9]))
+        with pytest.raises(SecurityViolation):
+            collector.accept_with_threshold(2)
+        # A threshold only one value reaches still accepts normally.
+        collector.add_response("e", np.array([5]))
+        assert collector.accept_with_threshold(3) == (5,)
+
 
 def _node_ids(n):
     return [f"node-{i}" for i in range(n)]

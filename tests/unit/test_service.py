@@ -1,0 +1,301 @@
+"""Unit tests for the client-session service: tickets, scheduler, facades.
+
+Covers the redesigned client API end to end at small scale: ragged traffic
+(idle machines padded with noop commands, bursty multi-command clients),
+adaptive batching (``min_fill`` deferral, empty scheduler ticks), the
+``PENDING -> COMMITTED -> EXECUTED | FAILED`` ticket lifecycle including
+``FAILED`` on unverified rounds, and the replication facade behind the same
+:class:`~repro.rounds.RoundProtocol` interface as the coded protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.machine.library import affine_kv_machine, bank_account_machine
+from repro.net.byzantine import RandomGarbageBehavior
+from repro.replication import FullReplicationSMR, PartialReplicationSMR, ReplicationProtocol
+from repro.rounds import RoundProtocol
+from repro.service import (
+    NOOP_CLIENT,
+    CSMService,
+    CommandTicket,
+    RoundScheduler,
+    TicketState,
+)
+
+
+def _csm_protocol(field, num_machines=3, num_nodes=12, seed=7, behaviors=None):
+    machine = bank_account_machine(field, num_accounts=2)
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        degree=machine.degree,
+        num_faults=1,
+    )
+    return CSMProtocol(
+        config, machine, behaviors, rng=np.random.default_rng(seed)
+    )
+
+
+def _replication_backend(field, num_machines=3, num_nodes=4, behaviors=None, seed=0):
+    machine = bank_account_machine(field, num_accounts=2)
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    engine = FullReplicationSMR(
+        machine, num_machines, node_ids, behaviors, np.random.default_rng(seed)
+    )
+    return ReplicationProtocol(engine)
+
+
+class TestTicketLifecycle:
+    def test_executed_path_records_every_state(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        session = service.connect("alice")
+        ticket = session.submit(1, [10, 20])
+        assert ticket.state is TicketState.PENDING
+        assert not ticket.done
+        with pytest.raises(ServiceError):
+            ticket.result()  # no output before execution
+        records = service.drive(flush=True)
+        assert len(records) == 1
+        assert ticket.state is TicketState.EXECUTED
+        assert ticket.round_index == 0
+        assert ticket.state_history == [
+            TicketState.PENDING,
+            TicketState.COMMITTED,
+            TicketState.EXECUTED,
+        ]
+        np.testing.assert_array_equal(ticket.result(), [10, 20])
+        assert session.outputs() and session.pending() == []
+
+    def test_failed_on_unverified_round(self, big_field):
+        # 3 of 4 replicas report garbage: no output can gather b+1 honest
+        # matches, the round fails verification, and the ticket must FAIL
+        # without ever exposing an output.
+        node_ids = [f"node-{i}" for i in range(4)]
+        behaviors = {n: RandomGarbageBehavior() for n in node_ids[:3]}
+        backend = _replication_backend(big_field, behaviors=behaviors)
+        service = CSMService(backend)
+        ticket = service.connect("carol").submit(0, [5, 5])
+        service.drain()
+        assert ticket.state is TicketState.FAILED
+        assert ticket.state_history == [
+            TicketState.PENDING,
+            TicketState.COMMITTED,
+            TicketState.FAILED,
+        ]
+        assert ticket.output is None
+        assert "failed verification" in ticket.error
+        with pytest.raises(ServiceError):
+            ticket.result()
+        assert backend.failed_rounds == 1
+        assert "carol" in backend.failed_deliveries
+
+    def test_illegal_transitions_raise(self):
+        ticket = CommandTicket(
+            client_id="a", machine_index=0, command=(1,), sequence=0
+        )
+        with pytest.raises(ServiceError):
+            ticket._execute(np.array([1]))  # cannot execute before commit
+        ticket._commit(0)
+        ticket._execute(np.array([1]))
+        with pytest.raises(ServiceError):
+            ticket._fail("too late")  # terminal states are final
+
+    def test_scheduler_abort_fails_pending_tickets(self, big_field):
+        backend = _replication_backend(big_field)
+
+        class ExplodingBackend(RoundProtocol):
+            machine = backend.machine
+
+            def __init__(self):
+                self._init_round_state()
+
+            @property
+            def num_machines(self):
+                return backend.num_machines
+
+            def run_rounds_batched(self, command_batches, client_rounds=None):
+                raise RuntimeError("backend down")
+
+        service = CSMService(ExplodingBackend())
+        ticket = service.connect("dave").submit(0, [1, 1])
+        with pytest.raises(RuntimeError):
+            service.drive(flush=True)
+        assert ticket.state is TicketState.FAILED
+        assert "backend down" in ticket.error
+
+
+class TestRaggedTraffic:
+    def test_idle_machines_are_noop_padded(self, big_field):
+        protocol = _csm_protocol(big_field)
+        service = CSMService(protocol)
+        service.connect("alice").submit(0, [7, 7])
+        records = service.drive(flush=True)
+        (record,) = records
+        assert record.clients == ["alice", NOOP_CLIENT, NOOP_CLIENT]
+        noop = protocol.machine.noop_command()
+        np.testing.assert_array_equal(record.commands[1], noop)
+        np.testing.assert_array_equal(record.commands[2], noop)
+        # The noop is an identity transition: idle ledgers did not move.
+        np.testing.assert_array_equal(record.result.states[1], [0, 0])
+        np.testing.assert_array_equal(record.result.states[2], [0, 0])
+        np.testing.assert_array_equal(record.result.states[0], [7, 7])
+
+    def test_multi_command_client_spans_rounds(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        session = service.connect("burst")
+        tickets = [session.submit(2, [i, i]) for i in range(1, 4)]
+        records = service.drain()
+        # One machine queue of depth 3 becomes 3 FIFO rounds.
+        assert len(records) == 3
+        assert [t.round_index for t in tickets] == [0, 1, 2]
+        np.testing.assert_array_equal(tickets[-1].result(), [6, 6])  # 1+2+3
+        assert [len(o) for o in session.outputs()] == [2, 2, 2]
+
+    def test_empty_tick_runs_nothing(self, big_field):
+        protocol = _csm_protocol(big_field)
+        service = CSMService(protocol)
+        assert service.drive() == []
+        assert service.drive(flush=True) == []
+        assert service.drain() == []
+        assert protocol.history == []
+
+    def test_min_fill_defers_until_enough_traffic(self, big_field):
+        service = CSMService(_csm_protocol(big_field), min_fill=2)
+        service.connect("alice").submit(0, [1, 1])
+        assert service.drive() == []  # 1 of 3 machines filled: below min_fill
+        assert service.pending_commands() == 1
+        service.connect("bob").submit(2, [2, 2])
+        records = service.drive()
+        assert len(records) == 1 and records[0].clients[1] == NOOP_CLIENT
+        # flush overrides min_fill for the stragglers.
+        service.connect("alice").submit(0, [3, 3])
+        assert service.drive() == []
+        assert len(service.drive(flush=True)) == 1
+
+    def test_max_batch_rounds_caps_one_drive(self, big_field):
+        service = CSMService(_csm_protocol(big_field), max_batch_rounds=2)
+        session = service.connect("burst")
+        for i in range(5):
+            session.submit(1, [i, i])
+        assert len(service.drive(flush=True)) == 2
+        assert service.pending_commands() == 3
+        assert len(service.drain()) == 3  # loops drive() until the pool is dry
+        assert service.pending_commands() == 0
+
+    def test_scheduler_validates_configuration(self, big_field):
+        backend = _replication_backend(big_field)
+        with pytest.raises(ConfigurationError):
+            CSMService(backend, max_batch_rounds=0)
+        with pytest.raises(ConfigurationError):
+            CSMService(backend, min_fill=0)
+        with pytest.raises(ConfigurationError):
+            CSMService(backend, min_fill=backend.num_machines + 1)
+        with pytest.raises(ConfigurationError):
+            CSMService(object())  # not a RoundProtocol
+
+    def test_submit_validates_command_shape(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        with pytest.raises(ConfigurationError):
+            service.connect("alice").submit(0, [1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            service.connect("alice").submit(9, [1, 2])
+
+    def test_connect_is_idempotent(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        session = service.connect("alice")
+        assert service.connect("alice") is session
+
+
+class TestReplicationFacade:
+    def test_partial_replication_backend(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        node_ids = [f"node-{i}" for i in range(6)]
+        engine = PartialReplicationSMR(
+            machine, 3, node_ids, rng=np.random.default_rng(0)
+        )
+        service = CSMService(ReplicationProtocol(engine))
+        tickets = [
+            service.connect("alice").submit(0, [1, 1]),
+            service.connect("bob").submit(2, [2, 2]),
+        ]
+        service.drain()
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        assert engine.round_index == 1  # one padded round served both
+
+    def test_facade_matches_direct_engine_execution(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        node_ids = [f"node-{i}" for i in range(4)]
+        batches = [
+            np.arange(1, 7).reshape(3, 2),
+            np.arange(7, 13).reshape(3, 2),
+        ]
+        direct = FullReplicationSMR(machine, 3, node_ids, rng=np.random.default_rng(1))
+        direct_results = direct.execute_rounds(np.stack(batches))
+        facade = ReplicationProtocol(
+            FullReplicationSMR(machine, 3, node_ids, rng=np.random.default_rng(1))
+        )
+        records = facade.run_rounds_batched(batches)
+        assert [r.clients for r in records] == [
+            ["client:0", "client:1", "client:2"]
+        ] * 2
+        for record, result in zip(records, direct_results):
+            np.testing.assert_array_equal(record.result.outputs, result.outputs)
+            np.testing.assert_array_equal(record.result.states, result.states)
+            assert record.correct == result.correct
+        assert facade.all_rounds_correct
+        assert facade.measured_throughput() > 0
+
+    def test_facade_rejects_malformed_rounds(self, big_field):
+        facade = _replication_backend(big_field)
+        with pytest.raises(ConfigurationError):
+            facade.run_rounds_batched([np.ones((2, 2))])
+        with pytest.raises(ConfigurationError):
+            facade.run_rounds_batched(
+                [np.ones((3, 2))], client_rounds=[["a"] * 3, ["b"] * 3]
+            )
+        assert facade.run_rounds_batched([]) == []
+
+
+class TestNoopCommands:
+    def test_library_machines_declare_identity_noops(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=3)
+        state = np.array([4, 5, 6])
+        next_state, _ = machine.step(state, machine.noop_command())
+        np.testing.assert_array_equal(next_state, state)
+
+    def test_affine_machine_only_identity_at_scale_one(self, big_field):
+        scaled = affine_kv_machine(big_field, num_keys=2, scale=3)
+        assert scaled.noop is None  # no identity command exists
+        unit = affine_kv_machine(big_field, num_keys=2, scale=1)
+        state = np.array([8, 9])
+        next_state, _ = unit.step(state, unit.noop_command())
+        np.testing.assert_array_equal(next_state, state)
+
+    def test_noop_dimension_validated(self, big_field):
+        with pytest.raises(ConfigurationError):
+            machine = bank_account_machine(big_field, num_accounts=2)
+            type(machine)(
+                field=machine.field,
+                transition=machine.transition,
+                initial_state=machine.initial_state,
+                noop=np.zeros(5, dtype=np.int64),
+            )
+
+    def test_replicate_preserves_noop(self, big_field):
+        machine = bank_account_machine(big_field, num_accounts=2)
+        clones = machine.replicate(2)
+        for clone in clones:
+            np.testing.assert_array_equal(
+                clone.noop_command(), machine.noop_command()
+            )
+
+    def test_engines_expose_noop_round(self, big_field):
+        backend = _replication_backend(big_field)
+        round_ = backend.engine.noop_round()
+        assert round_.shape == (3, 2)
+        assert not round_.any()
