@@ -314,6 +314,57 @@ def test_service_scheduler_parity_bit_identical(field):
     )
 
 
+def test_sharded_rows_end_to_end(benchmark, shard_count):
+    """Sharded serving sweep: every ticket executes in both modes.
+
+    CI smoke-runs this with ``--shards 2``; every row (unsharded and
+    sharded) must execute all submitted commands with no failed rounds,
+    and the sharded mode must run each shard's own round sequence
+    (``rounds_run`` counts the union of per-shard rounds).
+    """
+    rows = benchmark(
+        scaling.sharded_rows, network_sizes=(8, 12), rounds=3, shards=shard_count
+    )
+    modes = {row["mode"] for row in rows}
+    assert "unsharded" in modes and f"sharded:{shard_count}" in modes
+    for row in rows:
+        assert row["failed"] == 0 and row["failed_rounds"] == 0
+        assert row["executed"] == row["tickets"] == row["K_total"] * 3
+        assert row["commands_per_sec"] > 0
+        assert row["throughput"] > 0
+
+
+def test_sharded_service_higher_commands_per_sec(field):
+    """Largest configuration: two shards beat one consensus instance.
+
+    Per-shard consensus runs over ``N/2`` nodes, so each shard round costs
+    roughly a quarter of the unsharded round's consensus messages while the
+    two shards together decide nearly the same number of commands — the
+    executed-command rate at ``N = 32`` must come out strictly higher
+    sharded than unsharded.  Min elapsed per mode over a few attempts
+    (the same filter the other speedup tests use) discards transient
+    scheduler noise on shared CI runners.
+    """
+    unsharded_time = float("inf")
+    sharded_time = float("inf")
+    unsharded_cmds = sharded_cmds = 0
+    for attempt in range(3):
+        rows = scaling.sharded_rows(network_sizes=(32,), rounds=8, shards=2)
+        by_mode = {row["mode"]: row for row in rows}
+        unsharded = by_mode["unsharded"]
+        sharded = by_mode["sharded:2"]
+        assert unsharded["failed"] == sharded["failed"] == 0
+        unsharded_time = min(unsharded_time, unsharded["wall_seconds"])
+        unsharded_cmds = unsharded["executed"]
+        sharded_time = min(sharded_time, sharded["wall_seconds"])
+        sharded_cmds = sharded["executed"]
+    ratio = (sharded_cmds / sharded_time) / (unsharded_cmds / unsharded_time)
+    assert ratio > 1.0, (
+        f"sharded commands/sec only {ratio:.2f}x the unsharded service "
+        "at N=32 — sharding failed to open the concurrent-consensus axis"
+    )
+
+
 def test_quasilinear_model_curve_shape(benchmark):
     def curve():
         return [quasilinear_coding_cost(n) for n in (64, 128, 256, 512, 1024)]

@@ -36,6 +36,17 @@ def pytest_addoption(parser):
         ),
     )
 
+    parser.addoption(
+        "--shards",
+        action="store",
+        type=int,
+        default=2,
+        help=(
+            "Shard count for the sharded-service benchmarks "
+            "(ShardedCSMService with one consensus instance per shard)."
+        ),
+    )
+
 
 @pytest.fixture(scope="session")
 def batched_protocol(request) -> bool:
@@ -47,6 +58,12 @@ def batched_protocol(request) -> bool:
 def service_mode(request) -> bool:
     """Whether ``--service`` was passed on the command line."""
     return bool(request.config.getoption("--service"))
+
+
+@pytest.fixture(scope="session")
+def shard_count(request) -> int:
+    """The ``--shards`` value for the sharded-service benchmarks."""
+    return int(request.config.getoption("--shards"))
 
 
 @pytest.fixture(scope="session")

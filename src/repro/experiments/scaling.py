@@ -287,6 +287,108 @@ def service_rows(
     return rows
 
 
+def _build_shard_backends(field, machine, num_nodes, fault_fraction, seed, shards):
+    """One CSMProtocol per shard over a balanced partition of the nodes.
+
+    Sharding the *consensus* means sharding the node set too: shard ``s``
+    runs its own consensus instance over ``~N/S`` nodes (its own simulated
+    network), hosting the machine count that node group supports.  Per-shard
+    rounds then cost ``O((N/S)^2)`` consensus messages instead of
+    ``O(N^2)`` — the axis the sharded service opens.
+    """
+    from repro.service.sharding import partition_machines
+
+    sizes = partition_machines(num_nodes, shards)
+    return [
+        _build_protocol(field, machine, size, fault_fraction, seed + s)
+        for s, size in enumerate(sizes)
+    ]
+
+
+def sharded_rows(
+    network_sizes: tuple[int, ...] = (8, 16, 24),
+    fault_fraction: float = 0.2,
+    seed: int = 0,
+    rounds: int = 4,
+    shards: int = 2,
+    min_fill: int = 1,
+) -> list[dict]:
+    """Sharded versus unsharded serving at matched node budgets.
+
+    For each network size ``N``, the same lockstep-dense traffic (every
+    machine receives ``rounds`` commands) is served twice: once through an
+    unsharded :class:`~repro.service.service.CSMService` over one
+    ``N``-node consensus instance, and once through a
+    :class:`~repro.service.sharding.ShardedCSMService` whose ``shards``
+    consensus instances partition the same ``N`` nodes.  Each mode reports
+    the executed-command rate (commands per wall-clock second), the
+    paper-metric throughput (commands per unit per-node field operation)
+    and the failure counts, one row per ``(N, mode)``.
+    """
+    from repro.service import CSMService, ShardedCSMService, TicketState
+
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    rows = []
+    for num_nodes in network_sizes:
+        unsharded_backend = _build_protocol(
+            field, machine, num_nodes, fault_fraction, seed
+        )
+        unsharded = CSMService(
+            unsharded_backend,
+            max_batch_rounds=rounds,
+            min_fill=min(min_fill, unsharded_backend.num_machines),
+        )
+        shard_backends = _build_shard_backends(
+            field, machine, num_nodes, fault_fraction, seed, shards
+        )
+        sharded = ShardedCSMService(
+            shard_backends,
+            max_batch_rounds=rounds,
+            min_fill=min_fill,
+        )
+
+        for mode, service in (
+            ("unsharded", unsharded),
+            (f"sharded:{shards}", sharded),
+        ):
+            # Fresh generator per mode: both modes draw the same command
+            # stream, so the rows compare deployments, not workloads.
+            command_rng = np.random.default_rng(seed)
+            k_total = service.num_machines
+            sessions = [service.connect(f"client:{i}") for i in range(k_total)]
+            start = time.perf_counter()
+            for _ in range(rounds):
+                for i in range(k_total):
+                    sessions[i].submit(
+                        i, command_rng.integers(1, 1000, size=machine.command_dim)
+                    )
+                service.drive()
+            service.drain()
+            elapsed = time.perf_counter() - start
+            tickets = service.tickets()
+            executed = sum(1 for t in tickets if t.state is TicketState.EXECUTED)
+            failed = sum(1 for t in tickets if t.state is TicketState.FAILED)
+            reporting = service if mode.startswith("sharded") else unsharded_backend
+            rows.append(
+                {
+                    "N": num_nodes,
+                    "mode": mode,
+                    "shards": shards if mode.startswith("sharded") else 1,
+                    "K_total": k_total,
+                    "rounds_run": len(reporting.history),
+                    "tickets": len(tickets),
+                    "executed": executed,
+                    "failed": failed,
+                    "commands_per_sec": executed / elapsed if elapsed else 0.0,
+                    "throughput": reporting.measured_throughput(),
+                    "failed_rounds": reporting.failed_rounds,
+                    "wall_seconds": elapsed,
+                }
+            )
+    return rows
+
+
 def run(**kwargs) -> dict:
     return {
         "scaling_laws": scaling_law_rows(**{k: v for k, v in kwargs.items() if k in (
@@ -299,6 +401,9 @@ def run(**kwargs) -> dict:
         "service": service_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds",
             "fill_probability", "min_fill")}),
+        "sharded": sharded_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "rounds", "shards",
+            "min_fill")}),
     }
 
 
@@ -315,6 +420,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("Ragged client traffic through the session/ticket service API")
     print(format_table(result["service"]))
+    print()
+    print("Sharded vs unsharded serving (partitioned pools + per-shard consensus)")
+    print(format_table(result["sharded"]))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -134,16 +134,25 @@ class RoundProtocol(ABC):
     def measured_throughput(self) -> float:
         """Average commands per unit per-node operation across completed rounds.
 
-        Rounds with a non-finite throughput (degenerate zero-operation
-        rounds) are excluded from the mean; if *no* round produced a finite
-        throughput the result is ``0.0`` — never ``inf``, which would poison
-        downstream averages.  ``failed_rounds`` reports how many rounds
-        failed verification, matching the measurement-harness semantics.
+        A round that failed verification delivered *zero* commands to the
+        clients, so it contributes ``0.0`` to the mean — not the throughput
+        its operation count would have bought had it verified.  (Averaging
+        failed rounds at their would-be throughput inflated the measure
+        exactly when faults bite, disagreeing with the measurement harness,
+        which keeps failed rounds in the operation denominator but never in
+        the delivered-command numerator.)  Verified rounds with a non-finite
+        throughput (degenerate zero-operation rounds) are excluded; if no
+        round contributed at all the result is ``0.0`` — never ``inf``,
+        which would poison downstream averages.
         """
         if not self.history:
             return 0.0
-        throughputs = [
-            record.result.throughput(self.num_machines) for record in self.history
-        ]
-        finite = [t for t in throughputs if np.isfinite(t)]
-        return float(np.mean(finite)) if finite else 0.0
+        throughputs: list[float] = []
+        for record in self.history:
+            if not record.correct:
+                throughputs.append(0.0)
+                continue
+            value = record.result.throughput(self.num_machines)
+            if np.isfinite(value):
+                throughputs.append(value)
+        return float(np.mean(throughputs)) if throughputs else 0.0

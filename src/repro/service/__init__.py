@@ -7,25 +7,36 @@ clients" section):
   :class:`~repro.rounds.RoundProtocol` backend (the coded
   :class:`~repro.core.protocol.CSMProtocol` or a replication baseline via
   :class:`~repro.replication.protocol.ReplicationProtocol`);
+* :class:`~repro.service.sharding.ShardedCSMService` — the same client
+  surface over ``S`` disjoint shards, each with its own command pool,
+  round scheduler and backend, advancing independently;
 * :class:`~repro.service.service.ClientSession` — per-client handle returned
   by ``service.connect(client_id)``;
 * :class:`~repro.service.tickets.CommandTicket` /
-  :class:`~repro.service.tickets.TicketState` — per-command lifecycle
-  (``PENDING -> COMMITTED -> EXECUTED | FAILED``) and delivered output;
+  :class:`~repro.service.tickets.TicketState` /
+  :class:`~repro.service.tickets.FailureReason` — per-command lifecycle
+  (``PENDING -> COMMITTED -> EXECUTED | FAILED``), delivered output, and
+  the machine-readable failure cause;
 * :class:`~repro.service.scheduler.RoundScheduler` — adaptive batching of
-  ragged traffic with noop padding for idle machines.
+  ragged traffic with noop padding for idle machines and a
+  ``max_wait_ticks`` starvation override.
 """
 
 from repro.service.scheduler import NOOP_CLIENT, RoundScheduler, ScheduledRound
 from repro.service.service import ClientSession, CSMService
-from repro.service.tickets import CommandTicket, TicketState
+from repro.service.sharding import ShardedClientSession, ShardedCSMService, ShardedRound
+from repro.service.tickets import CommandTicket, FailureReason, TicketState
 
 __all__ = [
     "NOOP_CLIENT",
     "CSMService",
     "ClientSession",
     "CommandTicket",
+    "FailureReason",
     "RoundScheduler",
     "ScheduledRound",
+    "ShardedCSMService",
+    "ShardedClientSession",
+    "ShardedRound",
     "TicketState",
 ]

@@ -14,6 +14,13 @@ least that many machines have a real pending command, so a nearly-idle
 system waits for traffic to accumulate instead of burning consensus rounds
 on noop padding — except under ``flush=True``, which drains every pending
 command regardless of fill.
+
+``max_wait_ticks`` bounds how long that deferral can starve a command: if
+below-``min_fill`` traffic sits in the pool for that many consecutive
+:meth:`RoundScheduler.plan` ticks without a ``flush`` ever arriving, the
+scheduler flushes it anyway.  Without the override, a trickle of traffic
+that never reaches ``min_fill`` machines would leave its tickets ``PENDING``
+forever — a liveness hole, not a policy.
 """
 
 from __future__ import annotations
@@ -51,12 +58,17 @@ class ScheduledRound:
 class RoundScheduler:
     """Drains a command pool into adaptive batches of dense rounds."""
 
+    #: Default bound on consecutive below-``min_fill`` deferrals before the
+    #: scheduler flushes stale traffic anyway (the starvation override).
+    DEFAULT_MAX_WAIT_TICKS = 16
+
     def __init__(
         self,
         pool: CommandPool,
         machine: StateMachine,
         max_batch_rounds: int = 8,
         min_fill: int = 1,
+        max_wait_ticks: int | None = DEFAULT_MAX_WAIT_TICKS,
     ) -> None:
         if max_batch_rounds < 1:
             raise ConfigurationError(
@@ -66,10 +78,17 @@ class RoundScheduler:
             raise ConfigurationError(
                 f"min_fill must be in [1, {pool.num_machines}], got {min_fill}"
             )
+        if max_wait_ticks is not None and max_wait_ticks < 1:
+            raise ConfigurationError(
+                f"max_wait_ticks must be positive (or None to disable), "
+                f"got {max_wait_ticks}"
+            )
         self.pool = pool
         self.machine = machine
         self.max_batch_rounds = int(max_batch_rounds)
         self.min_fill = int(min_fill)
+        self.max_wait_ticks = None if max_wait_ticks is None else int(max_wait_ticks)
+        self._deferred_ticks = 0
         self._noop_row = [int(v) for v in machine.noop_command()]
 
     def plan(self, flush: bool = False) -> list[ScheduledRound]:
@@ -80,7 +99,25 @@ class RoundScheduler:
         stops when the pool is empty, the batch is full, or the next round
         would fall below ``min_fill`` real commands (unless ``flush``).
         An empty tick returns ``[]`` without touching the pool.
+
+        A tick that defers below-``min_fill`` traffic counts toward
+        ``max_wait_ticks``; once pending commands have been deferred that
+        many consecutive ticks, the tick proceeds as if flushed, so no
+        ticket waits forever for traffic that never comes.
         """
+        if self.pool.pending_machines() == 0:
+            # An empty pool has nothing to starve; deferral age restarts
+            # when the next command arrives.
+            self._deferred_ticks = 0
+            return []
+        if self.pool.pending_machines() < self.min_fill and not flush:
+            self._deferred_ticks += 1
+            if (
+                self.max_wait_ticks is None
+                or self._deferred_ticks < self.max_wait_ticks
+            ):
+                return []
+            flush = True  # stale traffic: override min_fill this tick
         rounds: list[ScheduledRound] = []
         while len(rounds) < self.max_batch_rounds:
             filled = self.pool.pending_machines()
@@ -107,4 +144,6 @@ class RoundScheduler:
                     entries=entries,
                 )
             )
+        if rounds:
+            self._deferred_ticks = 0
         return rounds

@@ -28,11 +28,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.consensus.command_pool import CommandPool
+from repro.consensus.command_pool import CommandPool, SequenceAllocator
 from repro.exceptions import ConfigurationError, ConsensusError, ServiceError
 from repro.rounds import ProtocolRound, RoundProtocol
 from repro.service.scheduler import RoundScheduler, ScheduledRound
-from repro.service.tickets import CommandTicket, TicketState
+from repro.service.tickets import CommandTicket, FailureReason, TicketState
 
 
 class ClientSession:
@@ -76,6 +76,14 @@ class CSMService:
         Fewest machines that must have a real pending command before a
         round is formed (adaptive batching); :meth:`drive` with
         ``flush=True`` and :meth:`drain` override it.
+    max_wait_ticks:
+        Starvation bound: after this many consecutive below-``min_fill``
+        :meth:`drive` ticks, pending commands are flushed anyway
+        (``None`` disables the override).
+    sequence_source:
+        Optional shared :class:`~repro.consensus.command_pool.\
+SequenceAllocator` for the ingress pool — the sharded façade passes one
+        allocator to every shard so ticket sequences stay globally unique.
     """
 
     def __init__(
@@ -83,18 +91,23 @@ class CSMService:
         backend: RoundProtocol,
         max_batch_rounds: int = 8,
         min_fill: int = 1,
+        max_wait_ticks: int | None = RoundScheduler.DEFAULT_MAX_WAIT_TICKS,
+        sequence_source: SequenceAllocator | None = None,
     ) -> None:
         if not isinstance(backend, RoundProtocol):
             raise ConfigurationError(
                 f"backend {type(backend).__name__} does not implement RoundProtocol"
             )
         self.backend = backend
-        self.pool = CommandPool(num_machines=backend.num_machines)
+        self.pool = CommandPool(
+            num_machines=backend.num_machines, sequence_source=sequence_source
+        )
         self.scheduler = RoundScheduler(
             self.pool,
             backend.machine,
             max_batch_rounds=max_batch_rounds,
             min_fill=min_fill,
+            max_wait_ticks=max_wait_ticks,
         )
         self._sessions: dict[str, ClientSession] = {}
         self._tickets_by_sequence: dict[int, CommandTicket] = {}
@@ -145,7 +158,9 @@ class CSMService:
             )
         except Exception as exc:
             for round_ in planned:
-                self._fail_round(round_, f"backend error: {exc}")
+                self._fail_round(
+                    round_, f"backend error: {exc}", FailureReason.BACKEND_ERROR
+                )
             raise
         try:
             if len(records) != len(planned):
@@ -160,7 +175,11 @@ class CSMService:
             # mismatch) must not strand the tick's remaining tickets in a
             # non-terminal state: fail everything still open, then raise.
             for round_ in planned:
-                self._fail_round(round_, f"round resolution aborted: {exc}")
+                self._fail_round(
+                    round_,
+                    f"round resolution aborted: {exc}",
+                    FailureReason.RESOLUTION_ABORTED,
+                )
             raise
         return records
 
@@ -244,7 +263,8 @@ class CSMService:
             if decided != ticket.command:
                 ticket._fail(
                     f"consensus decided {decided} for machine {k}, not the "
-                    f"scheduled command {ticket.command}"
+                    f"scheduled command {ticket.command}",
+                    FailureReason.CONSENSUS_MISMATCH,
                 )
                 raise ConsensusError(
                     f"round {record.round_index} decided a different command for "
@@ -256,13 +276,19 @@ class CSMService:
             else:
                 ticket._fail(
                     f"round {record.round_index} failed verification; output "
-                    "withheld"
+                    "withheld",
+                    FailureReason.VERIFICATION_FAILED,
                 )
 
-    def _fail_round(self, planned: ScheduledRound, reason: str) -> None:
+    def _fail_round(
+        self,
+        planned: ScheduledRound,
+        reason: str,
+        failure_reason: FailureReason,
+    ) -> None:
         for entry in planned.entries:
             if entry is None:
                 continue
             ticket = self._tickets_by_sequence[entry.sequence]
             if not ticket.done:
-                ticket._fail(reason)
+                ticket._fail(reason, failure_reason)

@@ -42,6 +42,29 @@ class TicketState(enum.Enum):
     FAILED = "failed"
 
 
+class FailureReason(enum.Enum):
+    """Machine-readable cause attached to every ``-> FAILED`` transition.
+
+    The human-readable :attr:`CommandTicket.error` string explains the
+    failure; this enum classifies it, so retry policies and tests can branch
+    on the cause without parsing prose.
+    """
+
+    #: The backend raised mid-drive; the command may never have reached
+    #: consensus.  Resubmitting is safe.
+    BACKEND_ERROR = "backend-error"
+    #: The round executed but its decode/output verification failed; the
+    #: output was withheld.
+    VERIFICATION_FAILED = "verification-failed"
+    #: Consensus decided a different command than the scheduler submitted
+    #: for this slot — a safety violation surfaced to the client.
+    CONSENSUS_MISMATCH = "consensus-mismatch"
+    #: Round resolution aborted after the backend returned (record-count
+    #: mismatch, or a sibling slot's consensus mismatch) — the whole tick's
+    #: open tickets are failed rather than stranded.
+    RESOLUTION_ABORTED = "resolution-aborted"
+
+
 _LEGAL_TRANSITIONS: dict[TicketState, frozenset[TicketState]] = {
     TicketState.PENDING: frozenset({TicketState.COMMITTED, TicketState.FAILED}),
     TicketState.COMMITTED: frozenset({TicketState.EXECUTED, TicketState.FAILED}),
@@ -73,6 +96,9 @@ class CommandTicket:
         The delivered output vector (set only when ``EXECUTED``).
     error:
         Human-readable failure reason (set only when ``FAILED``).
+    failure_reason:
+        Machine-readable :class:`FailureReason` (set on every ``-> FAILED``
+        edge, ``None`` otherwise).
     state_history:
         Every state the ticket has been in, in order (starts ``PENDING``).
     """
@@ -85,6 +111,7 @@ class CommandTicket:
     round_index: int | None = None
     output: np.ndarray | None = None
     error: str | None = None
+    failure_reason: FailureReason | None = None
     state_history: list[TicketState] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -128,6 +155,7 @@ class CommandTicket:
         self._advance(TicketState.EXECUTED)
         self.output = np.asarray(output).copy()
 
-    def _fail(self, reason: str) -> None:
+    def _fail(self, reason: str, failure_reason: FailureReason) -> None:
         self._advance(TicketState.FAILED)
         self.error = reason
+        self.failure_reason = failure_reason

@@ -134,6 +134,45 @@ class TestMeasuredThroughput:
     def test_empty_history_yields_zero(self, big_field):
         assert _protocol(big_field).measured_throughput() == 0.0
 
+    def test_failed_rounds_contribute_zero_commands(self, big_field):
+        # Regression: a failed round used to contribute the throughput its
+        # operation count *would* have bought, inflating the mean exactly
+        # when faults bite.  The harness semantics are the reference: failed
+        # rounds spend the operations but deliver zero commands.
+        protocol = _protocol(big_field)
+        ops = {f"node-{i}": 100 for i in range(protocol.config.num_nodes)}
+        protocol.history.append(_accounted_round(0, correct=True, ops=ops))
+        correct_only = protocol.measured_throughput()
+        assert correct_only == pytest.approx(protocol.num_machines / 100)
+        protocol.history.append(_accounted_round(1, correct=False, ops=ops))
+        # Harness-style aggregate: delivered commands over the same ops.
+        assert protocol.measured_throughput() == pytest.approx(correct_only / 2)
+        assert protocol.failed_rounds == 1
+
+    def test_all_failed_history_yields_zero(self, big_field):
+        protocol = _protocol(big_field)
+        ops = {f"node-{i}": 100 for i in range(protocol.config.num_nodes)}
+        protocol.history.append(_accounted_round(0, correct=False, ops=ops))
+        assert protocol.measured_throughput() == 0.0
+
+
+def _accounted_round(index, correct, ops):
+    from repro.core.protocol import ProtocolRound
+
+    result = RoundResult(
+        round_index=index,
+        outputs=np.zeros((2, 1), dtype=np.int64),
+        states=np.zeros((2, 1), dtype=np.int64),
+        correct=correct,
+        ops_per_node=dict(ops),
+    )
+    return ProtocolRound(
+        round_index=index,
+        commands=np.zeros((2, 1), dtype=np.int64),
+        clients=["client:0", "client:1"],
+        result=result,
+    )
+
 
 def _degenerate_round():
     from repro.core.protocol import ProtocolRound

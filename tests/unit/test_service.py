@@ -22,6 +22,7 @@ from repro.service import (
     NOOP_CLIENT,
     CSMService,
     CommandTicket,
+    FailureReason,
     RoundScheduler,
     TicketState,
 )
@@ -89,6 +90,7 @@ class TestTicketLifecycle:
         ]
         assert ticket.output is None
         assert "failed verification" in ticket.error
+        assert ticket.failure_reason is FailureReason.VERIFICATION_FAILED
         with pytest.raises(ServiceError):
             ticket.result()
         assert backend.failed_rounds == 1
@@ -103,7 +105,9 @@ class TestTicketLifecycle:
         ticket._commit(0)
         ticket._execute(np.array([1]))
         with pytest.raises(ServiceError):
-            ticket._fail("too late")  # terminal states are final
+            # terminal states are final
+            ticket._fail("too late", FailureReason.BACKEND_ERROR)
+        assert ticket.failure_reason is None  # the illegal edge set nothing
 
     def test_scheduler_abort_fails_pending_tickets(self, big_field):
         backend = _replication_backend(big_field)
@@ -127,6 +131,42 @@ class TestTicketLifecycle:
             service.drive(flush=True)
         assert ticket.state is TicketState.FAILED
         assert "backend down" in ticket.error
+        assert ticket.failure_reason is FailureReason.BACKEND_ERROR
+
+    def test_consensus_mismatch_and_abort_failure_reasons(self, big_field):
+        from repro.exceptions import ConsensusError
+
+        inner = _replication_backend(big_field)
+
+        class LyingBackend(RoundProtocol):
+            """Executes honestly but reports tampered decided commands."""
+
+            machine = inner.machine
+
+            def __init__(self):
+                self._init_round_state()
+
+            @property
+            def num_machines(self):
+                return inner.num_machines
+
+            def run_rounds_batched(self, command_batches, client_rounds=None):
+                tampered = [np.asarray(b).copy() for b in command_batches]
+                for batch in tampered:
+                    batch[0] += 1  # machine 0's decided command is a lie
+                return inner.run_rounds_batched(tampered, client_rounds)
+
+        service = CSMService(LyingBackend())
+        victim = service.connect("alice").submit(0, [1, 1])
+        bystander = service.connect("bob").submit(1, [2, 2])
+        with pytest.raises(ConsensusError, match="different command"):
+            service.drive(flush=True)
+        assert victim.state is TicketState.FAILED
+        assert victim.failure_reason is FailureReason.CONSENSUS_MISMATCH
+        # The sibling slot never got resolved before the abort: it is failed
+        # with the abort reason instead of being stranded mid-lifecycle.
+        assert bystander.state is TicketState.FAILED
+        assert bystander.failure_reason is FailureReason.RESOLUTION_ABORTED
 
 
 class TestRaggedTraffic:
@@ -196,7 +236,47 @@ class TestRaggedTraffic:
         with pytest.raises(ConfigurationError):
             CSMService(backend, min_fill=backend.num_machines + 1)
         with pytest.raises(ConfigurationError):
+            CSMService(backend, max_wait_ticks=0)
+        with pytest.raises(ConfigurationError):
             CSMService(object())  # not a RoundProtocol
+
+    def test_stale_commands_flush_after_max_wait_ticks(self, big_field):
+        # Regression: below-min_fill traffic with no flush ever arriving
+        # used to sit PENDING forever (scheduler starvation deadlock).
+        service = CSMService(
+            _csm_protocol(big_field), min_fill=3, max_wait_ticks=3
+        )
+        ticket = service.connect("alice").submit(0, [1, 1])
+        assert service.drive() == []  # deferred tick 1
+        assert service.drive() == []  # deferred tick 2
+        records = service.drive()     # tick 3: stale override fires
+        assert len(records) == 1
+        assert ticket.state is TicketState.EXECUTED
+        np.testing.assert_array_equal(ticket.result(), [1, 1])
+
+    def test_stale_override_age_resets_on_progress(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), min_fill=2, max_wait_ticks=2
+        )
+        service.connect("alice").submit(0, [1, 1])
+        assert service.drive() == []          # deferred tick 1
+        service.connect("bob").submit(1, [2, 2])
+        assert len(service.drive()) == 1      # min_fill reached: normal round
+        late = service.connect("alice").submit(0, [3, 3])
+        assert service.drive() == []          # fresh deferral count: tick 1
+        assert late.state is TicketState.PENDING
+        assert len(service.drive()) == 1      # tick 2: override fires again
+        assert late.state is TicketState.EXECUTED
+
+    def test_max_wait_ticks_none_preserves_pure_deferral(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), min_fill=3, max_wait_ticks=None
+        )
+        ticket = service.connect("alice").submit(0, [1, 1])
+        for _ in range(30):
+            assert service.drive() == []
+        assert ticket.state is TicketState.PENDING
+        assert len(service.drive(flush=True)) == 1  # flush still drains
 
     def test_submit_validates_command_shape(self, big_field):
         service = CSMService(_csm_protocol(big_field))
