@@ -8,6 +8,15 @@ through the batched cached-matrix pipeline by default
 (``throughput_rows(batched=...)`` flips back to the scalar protocol), and
 ``test_batched_pipeline_speedup_bit_identical`` checks the pipeline contract:
 identical outputs, >= 3x wall-clock at the largest configuration.
+
+The speculative decode/execute overlap has its own gates:
+``test_pipelined_speedup_bit_identical`` pins ``execute_rounds_pipelined``
+at >= 1.5x the batched commands/sec on the fault-free largest
+configuration (bit-identical results), and
+``test_pipelined_graceful_under_persistent_faults`` bounds the degradation
+under a persistent 20% fault load at <= ~1.1x.  ``--pipelined`` smoke-runs
+the protocol/service sweeps through the pipelined mode, and ``--json PATH``
+writes the ``BENCH_throughput.json`` perf-trajectory artifact.
 """
 
 import time
@@ -126,14 +135,16 @@ def test_batched_pipeline_speedup_bit_identical(field):
     )
 
 
-def test_protocol_rows_end_to_end(benchmark, batched_protocol, service_mode):
+def test_protocol_rows_end_to_end(benchmark, batched_protocol, service_mode, pipelined_mode):
     """Full-protocol sweep (consensus + network + execution) stays correct.
 
     With ``--service`` the sweep submits the traffic through CSMService
     sessions and lets the round scheduler drive the batches; with
     ``--batched-protocol`` it runs through ``CSMProtocol.run_rounds_batched``;
-    without either, the sequential loop.  In every mode each round must
-    decode and deliver (no failed rounds).
+    with ``--pipelined`` the execution phase runs through the speculative
+    decode/execute pipeline (combinable with ``--service``); without any,
+    the sequential loop.  In every mode each round must decode and deliver
+    (no failed rounds).
     """
     rows = benchmark(
         scaling.protocol_rows,
@@ -141,14 +152,139 @@ def test_protocol_rows_end_to_end(benchmark, batched_protocol, service_mode):
         rounds=3,
         batched_protocol=batched_protocol,
         service=service_mode,
+        pipelined=pipelined_mode,
     )
-    expected_mode = (
-        "service" if service_mode else "batched" if batched_protocol else "sequential"
-    )
+    if service_mode:
+        expected_mode = "service-pipelined" if pipelined_mode else "service"
+    elif pipelined_mode:
+        expected_mode = "pipelined"
+    elif batched_protocol:
+        expected_mode = "batched"
+    else:
+        expected_mode = "sequential"
     for row in rows:
         assert row["failed_rounds"] == 0
         assert row["throughput"] > 0
         assert row["mode"] == expected_mode
+
+
+def test_pipelined_rows_execution_phase(benchmark):
+    """The speculative-pipeline sweep stays bit-identical and delivers.
+
+    ``scaling.pipelined_rows`` runs the same fault-free command stream
+    through the batched and the pipelined execution paths; every size must
+    come out bit-identical with zero failed rounds in both modes.
+    """
+    rows = benchmark(scaling.pipelined_rows, network_sizes=(8, 16), rounds=8)
+    modes = {row["mode"] for row in rows}
+    assert modes == {"batched", "pipelined"}
+    for row in rows:
+        assert row["identical"]
+        assert row["failed_rounds"] == 0
+        assert row["commands_per_sec"] > 0
+        assert row["throughput"] > 0
+
+
+def test_pipelined_speedup_bit_identical(field):
+    """Largest configuration, fault-free: pipelined >= 1.5x, bit-identical.
+
+    The batched path pays a full suspect-learning decode on every round's
+    critical path; the pipelined path advances state from the pivot-only
+    speculative interpolation and verifies whole windows with one stacked
+    re-encode product.  At ``N = 32`` fault-free the architectural gap is
+    ~1.8x, so the 1.5x floor (min over a few attempts, same filter as the
+    other speedup tests) leaves margin for noisy shared runners — while
+    outputs, states, correctness flags and flagged error nodes must match
+    the batched results exactly.
+    """
+    machine = bank_account_machine(field, num_accounts=2)
+    num_nodes = 32  # the largest network size of this figure
+    num_machines = csm_supported_machines(num_nodes, 0.2, machine.degree)
+    num_rounds = 32
+    commands = np.random.default_rng(7).integers(
+        1, 1000, size=(num_rounds, num_machines, machine.command_dim)
+    )
+
+    batched_time = float("inf")
+    pipelined_time = float("inf")
+    for attempt in range(3):
+        batched_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults=0, seed=1
+        )
+        start = time.perf_counter()
+        batched_results = batched_engine.execute_rounds(commands)
+        batched_time = min(batched_time, time.perf_counter() - start)
+
+        pipelined_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults=0, seed=1
+        )
+        start = time.perf_counter()
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(commands)
+        pipelined_time = min(pipelined_time, time.perf_counter() - start)
+
+    for batched_round, pipelined_round in zip(batched_results, pipelined_results):
+        assert np.array_equal(batched_round.outputs, pipelined_round.outputs)
+        assert np.array_equal(batched_round.states, pipelined_round.states)
+        assert batched_round.correct == pipelined_round.correct
+        assert (
+            batched_round.diagnostics["error_nodes"]
+            == pipelined_round.diagnostics["error_nodes"]
+        )
+    assert pipelined_round.correct  # fault-free: every round verifies
+    speedup = batched_time / pipelined_time
+    assert speedup >= 1.5, (
+        f"pipelined speedup {speedup:.2f}x below the 1.5x floor "
+        f"(batched {batched_time:.3f}s, pipelined {pipelined_time:.3f}s)"
+    )
+
+
+def test_pipelined_graceful_under_persistent_faults(field):
+    """Persistent faults: the pipeline degrades gracefully (<= ~1.1x slower).
+
+    With 20% of the nodes emitting garbage every round — and sitting in the
+    decoder's initial pivot, the worst placement — the first window rolls
+    back, the suspect set is learnt, and every later window confirms.  The
+    pipelined wall-clock must stay within 10% of the batched path (it is
+    typically *faster*, since confirmed windows still skip per-round
+    decodes), and the results must remain bit-identical.
+    """
+    machine = bank_account_machine(field, num_accounts=2)
+    num_nodes = 32
+    fault_fraction = 0.2
+    num_faults = int(fault_fraction * num_nodes)
+    num_machines = csm_supported_machines(num_nodes, fault_fraction, machine.degree)
+    num_rounds = 32
+    commands = np.random.default_rng(7).integers(
+        1, 1000, size=(num_rounds, num_machines, machine.command_dim)
+    )
+
+    batched_time = float("inf")
+    pipelined_time = float("inf")
+    for attempt in range(3):
+        batched_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        batched_results = batched_engine.execute_rounds(commands)
+        batched_time = min(batched_time, time.perf_counter() - start)
+
+        pipelined_engine = _build_engine(
+            field, machine, num_nodes, num_machines, num_faults, seed=1
+        )
+        start = time.perf_counter()
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(commands)
+        pipelined_time = min(pipelined_time, time.perf_counter() - start)
+
+    for batched_round, pipelined_round in zip(batched_results, pipelined_results):
+        assert np.array_equal(batched_round.outputs, pipelined_round.outputs)
+        assert batched_round.correct == pipelined_round.correct
+    assert pipelined_round.correct  # inside the decoding bound
+    ratio = pipelined_time / batched_time
+    assert ratio <= 1.10, (
+        f"pipelined path {ratio:.2f}x the batched wall-clock under persistent "
+        f"faults (pipelined {pipelined_time:.3f}s, batched {batched_time:.3f}s) "
+        "— exceeds the graceful-degradation budget"
+    )
 
 
 def test_service_rows_ragged_traffic(benchmark):
@@ -363,6 +499,85 @@ def test_sharded_service_higher_commands_per_sec(field):
         f"sharded commands/sec only {ratio:.2f}x the unsharded service "
         "at N=32 — sharding failed to open the concurrent-consensus axis"
     )
+
+
+def test_throughput_json_artifact(json_artifact_path, shard_count):
+    """Write the ``BENCH_throughput.json`` perf-trajectory artifact.
+
+    Enabled by ``--json PATH``: runs a quick sweep of every serving mode and
+    records the executed-commands-per-second rate (plus the paper-metric
+    throughput) per mode, with the generating configuration, so CI can
+    archive one comparable artifact per PR.
+    """
+    import json
+
+    import pytest
+
+    if json_artifact_path is None:
+        pytest.skip("pass --json PATH to write the throughput artifact")
+
+    engine_rows = scaling.pipelined_rows(network_sizes=(16, 32), rounds=16)
+    protocol_batched = scaling.protocol_rows(
+        network_sizes=(8, 12), rounds=3, batched_protocol=True
+    )
+    protocol_pipelined = scaling.protocol_rows(
+        network_sizes=(8, 12), rounds=3, pipelined=True
+    )
+    service_rows = scaling.service_rows(network_sizes=(8, 12), rounds=3)
+    sharded_rows = scaling.sharded_rows(
+        network_sizes=(8, 12), rounds=3, shards=shard_count
+    )
+
+    def rate(rows, key="commands_per_sec"):
+        return {str(row.get("N")): row.get(key) for row in rows}
+
+    largest = max(row["N"] for row in engine_rows)
+    per_mode = {
+        mode: [row for row in engine_rows if row["mode"] == mode]
+        for mode in ("batched", "pipelined")
+    }
+    artifact = {
+        "artifact": "BENCH_throughput",
+        "config": {
+            "engine_sweep": {"network_sizes": [16, 32], "rounds": 16},
+            "protocol_sweep": {"network_sizes": [8, 12], "rounds": 3},
+            "shards": shard_count,
+        },
+        "modes": {
+            "engine-batched": rate(per_mode["batched"]),
+            "engine-pipelined": rate(per_mode["pipelined"]),
+            "protocol-batched": rate(protocol_batched, key="throughput"),
+            "protocol-pipelined": rate(protocol_pipelined, key="throughput"),
+            "service": rate(service_rows, key="throughput"),
+            "sharded": {
+                f"{row['mode']}@{row['N']}": row["commands_per_sec"]
+                for row in sharded_rows
+            },
+        },
+        "pipelined_speedup_at_largest": (
+            next(
+                row["commands_per_sec"]
+                for row in per_mode["pipelined"]
+                if row["N"] == largest
+            )
+            / next(
+                row["commands_per_sec"]
+                for row in per_mode["batched"]
+                if row["N"] == largest
+            )
+        ),
+        "rows": {
+            "engine": engine_rows,
+            "protocol_batched": protocol_batched,
+            "protocol_pipelined": protocol_pipelined,
+            "service": service_rows,
+            "sharded": sharded_rows,
+        },
+    }
+    for row in engine_rows:
+        assert row["identical"]
+    with open(json_artifact_path, "w") as handle:
+        json.dump(artifact, handle, indent=2, default=float)
 
 
 def test_quasilinear_model_curve_shape(benchmark):

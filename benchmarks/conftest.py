@@ -47,6 +47,29 @@ def pytest_addoption(parser):
         ),
     )
 
+    parser.addoption(
+        "--pipelined",
+        action="store_true",
+        default=False,
+        help=(
+            "Drive the end-to-end protocol benchmarks through the "
+            "speculative decode/execute pipeline "
+            "(CSMProtocol.run_rounds_pipelined / CSMService(pipeline=True))."
+        ),
+    )
+
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "Write the BENCH_throughput.json artifact (config plus "
+            "commands/sec per mode) to PATH, so the perf trajectory is "
+            "tracked across PRs.  Enables test_throughput_json_artifact."
+        ),
+    )
+
 
 @pytest.fixture(scope="session")
 def batched_protocol(request) -> bool:
@@ -64,6 +87,18 @@ def service_mode(request) -> bool:
 def shard_count(request) -> int:
     """The ``--shards`` value for the sharded-service benchmarks."""
     return int(request.config.getoption("--shards"))
+
+
+@pytest.fixture(scope="session")
+def pipelined_mode(request) -> bool:
+    """Whether ``--pipelined`` was passed on the command line."""
+    return bool(request.config.getoption("--pipelined"))
+
+
+@pytest.fixture(scope="session")
+def json_artifact_path(request) -> "str | None":
+    """The ``--json`` artifact path, or None when not requested."""
+    return request.config.getoption("--json")
 
 
 @pytest.fixture(scope="session")

@@ -87,6 +87,9 @@ class CSMProtocol(RoundProtocol):
         # B rounds) sees exactly the same draws as the sequential
         # round-by-round interleaving — the basis of the bit-identity
         # guarantee of :meth:`run_rounds_batched`.
+        #: Verification-window depth run_rounds_pipelined uses when the call
+        #: does not pass one explicitly (services configure it here).
+        self.pipeline_verify_window = 16
         engine_rng = np.random.default_rng(int(self.rng.integers(0, 2**63)))
         self.engine = CodedExecutionEngine(
             config,
@@ -183,6 +186,59 @@ class CSMProtocol(RoundProtocol):
             from repro.service import CSMService
 
             return CSMService.run_lockstep(self, command_batches)
+        return self._run_rounds_fast(command_batches, client_rounds, pipelined=False)
+
+    def run_rounds_pipelined(
+        self,
+        command_batches: Sequence[np.ndarray],
+        client_rounds: Sequence[Sequence[str]] | None = None,
+        verify_window: int | None = None,
+    ) -> list[ProtocolRound]:
+        """Run ``B`` rounds with the speculative decode/execute pipeline.
+
+        Consensus is decided exactly as in :meth:`run_rounds_batched`; the
+        execution phase runs through
+        :meth:`CodedExecutionEngine.execute_rounds_pipelined`, which
+        overlaps the verified decode of round ``t`` with the execution of
+        round ``t + 1`` (speculative pivot interpolation now, stacked
+        re-encode verification per window, checkpoint/rollback on a
+        mismatch).  The recorded :class:`ProtocolRound` history, the
+        delivered outputs and the failed-round accounting are bit-identical
+        to the batched path (property-tested, including mid-batch fault
+        onset); only the execution-phase operation counts drop.
+
+        ``verify_window`` defaults to :attr:`pipeline_verify_window`; the
+        legacy no-client form honours an explicit value by pinning that
+        attribute for the duration of the lockstep drive.
+        """
+        if verify_window is None:
+            verify_window = self.pipeline_verify_window
+        if client_rounds is None:
+            from repro.service import CSMService
+
+            saved_window = self.pipeline_verify_window
+            self.pipeline_verify_window = verify_window
+            try:
+                return CSMService.run_lockstep(
+                    self, command_batches, pipeline=True
+                )
+            finally:
+                self.pipeline_verify_window = saved_window
+        return self._run_rounds_fast(
+            command_batches,
+            client_rounds,
+            pipelined=True,
+            verify_window=verify_window,
+        )
+
+    def _run_rounds_fast(
+        self,
+        command_batches: Sequence[np.ndarray],
+        client_rounds: Sequence[Sequence[str]],
+        pipelined: bool,
+        verify_window: int = 16,
+    ) -> list[ProtocolRound]:
+        """Consensus + execution shared by the batched and pipelined drivers."""
         # Canonicalise every batch before any consensus runs: a malformed
         # batch must fail fast, not discard earlier rounds the consensus
         # already decided (shape validation is pure, so this cannot perturb
@@ -205,7 +261,12 @@ class CSMProtocol(RoundProtocol):
         )
         samples = [self._select_decision(d) for d in per_round_decisions]
         commands_matrix = np.stack([sample.commands for sample in samples])
-        results = self.engine.execute_rounds(commands_matrix)
+        if pipelined:
+            results = self.engine.execute_rounds_pipelined(
+                commands_matrix, verify_window=verify_window
+            )
+        else:
+            results = self.engine.execute_rounds(commands_matrix)
         return [
             self._record_round(sample.commands, sample.clients, result, sample.view)
             for sample, result in zip(samples, results)

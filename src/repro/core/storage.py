@@ -45,6 +45,20 @@ class CodedStateStore:
         return self.state_dim
 
     # -- updates ----------------------------------------------------------------------
+    def install_canonical(self, coded_state: np.ndarray, rounds: int = 1) -> None:
+        """Install an already-canonical coded state without re-validation.
+
+        Trusted fast path for the speculative execution pipeline, whose rows
+        come straight out of a canonical ``GF(p)`` matrix product; the public
+        :meth:`replace` stays the validating entry point for everything else.
+        ``rounds`` is how many per-round refreshes this install represents —
+        the pipeline synchronises storage once per call, so it passes the
+        call's refresh count to keep :attr:`round_index` in step with the
+        batched path's one-:meth:`replace`-per-refresh accounting.
+        """
+        self._coded_state = coded_state
+        self._round += int(rounds)
+
     def replace(self, coded_state: np.ndarray) -> None:
         """Install a new coded state (delegated-worker update path)."""
         new_state = self.field.array(coded_state).reshape(-1)

@@ -137,6 +137,113 @@ def throughput_rows(
     return rows
 
 
+def pipelined_rows(
+    network_sizes: tuple[int, ...] = (8, 16, 24, 32),
+    fault_fraction: float = 0.0,
+    seed: int = 0,
+    rounds: int = 32,
+    verify_window: int = 16,
+) -> list[dict]:
+    """Execution-phase cost of the speculative pipeline versus the batched path.
+
+    For each network size the *same* command stream runs twice through
+    identically-built engines: mode ``"batched"`` decodes every round on the
+    critical path (:meth:`CodedExecutionEngine.execute_rounds`), mode
+    ``"pipelined"`` advances state speculatively and verifies per window
+    (:meth:`~CodedExecutionEngine.execute_rounds_pipelined`).  Rows report
+    executed commands per wall-clock second, the paper-metric throughput and
+    the failure counts; ``identical`` records that the two modes produced
+    bit-identical outputs/states/correctness for that size (the property the
+    benchmark suite gates on).
+
+    The default sweep is fault-free — the workload the ≥ 1.5× speedup target
+    is defined on; ``fault_fraction > 0`` measures graceful degradation (the
+    suspect set is learnt once, after which speculation confirms every
+    window even though the faulty nodes keep erring).
+    """
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    rows = []
+    for num_nodes in network_sizes:
+        num_faults = int(fault_fraction * num_nodes)
+        k = csm_supported_machines(num_nodes, max(fault_fraction, 0.2), machine.degree)
+        config = CSMConfig(
+            field=field,
+            num_nodes=num_nodes,
+            num_machines=k,
+            degree=machine.degree,
+            num_faults=num_faults,
+        )
+        node_ids = [f"node-{i}" for i in range(num_nodes)]
+        behaviors = {
+            node_ids[i]: RandomGarbageBehavior() for i in range(num_faults)
+        }
+        commands = np.random.default_rng(seed).integers(
+            1, 1000, size=(rounds, k, machine.command_dim)
+        )
+
+        per_mode: dict[str, list] = {}
+        timings: dict[str, float] = {}
+        warmup = commands[: min(2, rounds)]
+        for mode in ("batched", "pipelined"):
+            # Warm the process-global matrix caches on a throwaway engine so
+            # neither mode is billed the one-off construction cost.
+            scratch = CodedExecutionEngine(
+                config, machine, node_ids, dict(behaviors), np.random.default_rng(seed)
+            )
+            if mode == "pipelined":
+                scratch.execute_rounds_pipelined(warmup, verify_window=verify_window)
+            else:
+                scratch.execute_rounds(warmup)
+            engine = CodedExecutionEngine(
+                config, machine, node_ids, dict(behaviors), np.random.default_rng(seed)
+            )
+            start = time.perf_counter()
+            if mode == "pipelined":
+                results = engine.execute_rounds_pipelined(
+                    commands, verify_window=verify_window
+                )
+            else:
+                results = engine.execute_rounds(commands)
+            timings[mode] = time.perf_counter() - start
+            per_mode[mode] = results
+        identical = all(
+            np.array_equal(a.outputs, b.outputs)
+            and np.array_equal(a.states, b.states)
+            and a.correct == b.correct
+            for a, b in zip(per_mode["batched"], per_mode["pipelined"])
+        )
+        for mode in ("batched", "pipelined"):
+            results = per_mode[mode]
+            elapsed = timings[mode]
+            failed = sum(1 for r in results if not r.correct)
+            executed = k * (rounds - failed)
+            rows.append(
+                {
+                    "N": num_nodes,
+                    "K": k,
+                    "rounds": rounds,
+                    "mode": mode,
+                    "commands_per_sec": executed / elapsed if elapsed else 0.0,
+                    "throughput": float(
+                        np.mean(
+                            [
+                                k / r.mean_ops_per_node
+                                for r in results
+                                if r.correct and r.mean_ops_per_node
+                            ]
+                        )
+                    )
+                    if any(r.correct for r in results)
+                    else 0.0,
+                    "failed_rounds": failed,
+                    "identical": identical,
+                    "wall_seconds": elapsed,
+                }
+            )
+    return rows
+
+
 def _build_protocol(field, machine, num_nodes, fault_fraction, seed):
     """One CSMProtocol sized for the sweep (faults on the highest node ids)."""
     num_faults = int(fault_fraction * num_nodes)
@@ -163,6 +270,7 @@ def protocol_rows(
     rounds: int = 4,
     batched_protocol: bool = True,
     service: bool = False,
+    pipelined: bool = False,
 ) -> list[dict]:
     """End-to-end CSMProtocol cost per network size: consensus + execution.
 
@@ -174,8 +282,11 @@ def protocol_rows(
     ``execute_rounds`` batch); ``batched_protocol=False`` runs the sequential
     ``run_round`` loop.  ``service=True`` submits the same traffic through
     :class:`~repro.service.service.CSMService` sessions and lets the round
-    scheduler drain it into batches (the production client path).  The
-    recorded round histories are bit-identical across all three modes.
+    scheduler drain it into batches (the production client path).
+    ``pipelined=True`` executes through the speculative pipeline —
+    :meth:`CSMProtocol.run_rounds_pipelined` directly, or
+    ``CSMService(pipeline=True)`` when combined with ``service``.  The
+    recorded round histories are bit-identical across all modes.
     """
     from repro.service import CSMService
 
@@ -192,13 +303,18 @@ def protocol_rows(
         ]
         start = time.perf_counter()
         if service:
-            mode = "service"
-            svc = CSMService(protocol, max_batch_rounds=rounds, min_fill=k)
+            mode = "service-pipelined" if pipelined else "service"
+            svc = CSMService(
+                protocol, max_batch_rounds=rounds, min_fill=k, pipeline=pipelined
+            )
             sessions = [svc.connect(f"client:{i}") for i in range(k)]
             for batch in batches:
                 for i in range(k):
                     sessions[i].submit(i, batch[i])
             svc.drain()
+        elif pipelined:
+            mode = "pipelined"
+            protocol.run_rounds_pipelined(batches)
         elif batched_protocol:
             mode = "batched"
             protocol.run_rounds_batched(batches)
@@ -397,7 +513,10 @@ def run(**kwargs) -> dict:
             "network_sizes", "fault_fraction", "seed", "rounds", "batched")}),
         "protocol": protocol_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds", "batched_protocol",
-            "service")}),
+            "service", "pipelined")}),
+        "pipelined": pipelined_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "rounds",
+            "verify_window")}),
         "service": service_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds",
             "fill_probability", "min_fill")}),
@@ -417,6 +536,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("End-to-end protocol (consensus + coded execution, batched path)")
     print(format_table(result["protocol"]))
+    print()
+    print("Speculative pipeline vs batched decode (execution phase, fault-free)")
+    print(format_table(result["pipelined"]))
     print()
     print("Ragged client traffic through the session/ticket service API")
     print(format_table(result["service"]))

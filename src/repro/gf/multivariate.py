@@ -226,12 +226,43 @@ class MultivariatePolynomial:
             raise FieldError(
                 f"expected assignments of shape (n, {self.arity}), got {points.shape}"
             )
-        result = np.zeros(points.shape[0], dtype=np.int64)
+        return self._evaluate_batch_canonical(points)
+
+    def _evaluate_batch_canonical(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at canonical points, with per-variable power caching.
+
+        Variable powers are computed once per ``(variable, exponent)`` pair
+        and shared across terms; linear and quadratic exponents skip the
+        square-and-multiply ladder entirely.  Every shortcut explicitly
+        charges the operations the :meth:`Field.pow` formulation it replaces
+        would have charged, so attached counters record bit-identical counts
+        to the scalar :meth:`evaluate` loop.
+        """
+        field = self.field
+        n = points.shape[0]
+        result = np.zeros(n, dtype=np.int64)
+        powers: dict[tuple[int, int], np.ndarray] = {}
         for exps, coeff in self.terms.items():
-            term = np.full(points.shape[0], coeff, dtype=np.int64)
+            term = np.full(n, coeff, dtype=np.int64)
             for index, exponent in enumerate(exps):
-                if exponent:
-                    term = field.mul(term, field.pow(points[:, index], exponent))
+                if not exponent:
+                    continue
+                key = (index, exponent)
+                values = powers.get(key)
+                if values is None:
+                    if exponent == 1:
+                        values = points[:, index]
+                        field._count_mul(2 * n)
+                    elif exponent == 2:
+                        column = points[:, index]
+                        values = field.mul(column, column)  # charges n
+                        field._count_mul(3 * n)
+                    else:
+                        values = field.pow(points[:, index], exponent)
+                    powers[key] = values
+                else:
+                    field._count_mul(2 * max(exponent.bit_length(), 1) * n)
+                term = field.mul(term, values)
             result = field.add(result, term)
         return result
 

@@ -113,12 +113,16 @@ class PolynomialTransition:
         values — and, when an operation counter is attached, the per-row
         operation counts — are identical to ``n`` scalar :meth:`step` calls.
         """
+        # The assignment matrix is canonical after validation; the internal
+        # evaluation entry skips each component's redundant re-reduction.
         assignments = self._assignment_batch(states, commands)
         next_states = np.stack(
-            [p.evaluate_batch(assignments) for p in self.next_state_polys], axis=1
+            [p._evaluate_batch_canonical(assignments) for p in self.next_state_polys],
+            axis=1,
         )
         outputs = np.stack(
-            [p.evaluate_batch(assignments) for p in self.output_polys], axis=1
+            [p._evaluate_batch_canonical(assignments) for p in self.output_polys],
+            axis=1,
         )
         return next_states, outputs
 

@@ -125,6 +125,44 @@ class DelayingBehavior(ByzantineBehavior):
         return True
 
 
+class FaultOnsetBehavior(ByzantineBehavior):
+    """Reports honestly until an onset round, then turns Byzantine.
+
+    Wraps an ``inner`` behaviour that takes over from the
+    ``onset_round``-th execution-phase report onwards (0-based, counted per
+    :meth:`transform_result` call — i.e. per round under the engines'
+    single-representative decode).  This is the mid-batch fault-onset shape
+    the speculative pipeline's rollback path must handle: the node sits in
+    the decoder's trusted pivot until it starts erring, so its first bad
+    round invalidates in-flight speculation.
+
+    The node counts toward the fault budget from round 0 (``is_faulty`` is
+    static for the engines: a faulty node never refreshes its coded state
+    and misbehaves in consensus throughout), so onset changes *when* the
+    execution-phase deviation appears, not the protocol's fault accounting.
+    """
+
+    def __init__(self, inner: ByzantineBehavior, onset_round: int) -> None:
+        if onset_round < 0:
+            raise ValueError(f"onset round must be non-negative, got {onset_round}")
+        self.inner = inner
+        self.onset_round = int(onset_round)
+        self._rounds_seen = 0
+        self._active = onset_round == 0
+
+    def transform_result(self, field, node_id, true_value, rng, recipient=None):
+        self._active = self._rounds_seen >= self.onset_round
+        self._rounds_seen += 1
+        if not self._active:
+            return np.array(true_value, dtype=np.int64, copy=True)
+        return self.inner.transform_result(
+            field, node_id, true_value, rng, recipient=recipient
+        )
+
+    def delays_message(self) -> bool:
+        return self._active and self.inner.delays_message()
+
+
 _BEHAVIOR_FACTORIES = {
     "honest": HonestBehavior,
     "corrupt": CorruptResultBehavior,

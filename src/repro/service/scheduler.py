@@ -21,6 +21,13 @@ below-``min_fill`` traffic sits in the pool for that many consecutive
 scheduler flushes it anyway.  Without the override, a trickle of traffic
 that never reaches ``min_fill`` machines would leave its tickets ``PENDING``
 forever — a liveness hole, not a policy.
+
+The scheduler only *plans* rounds; how they execute is the service's call.
+With ``CSMService(pipeline=True)`` each planned batch runs through the
+backend's speculative decode/execute pipeline
+(:meth:`~repro.rounds.RoundProtocol.run_rounds_pipelined`), so overlapping
+scheduler ticks spend less wall-clock per batch while every planned round
+resolves to the bit-identical history and ticket outcomes.
 """
 
 from __future__ import annotations

@@ -84,6 +84,13 @@ class CSMService:
         Optional shared :class:`~repro.consensus.command_pool.\
 SequenceAllocator` for the ingress pool — the sharded façade passes one
         allocator to every shard so ticket sequences stay globally unique.
+    pipeline:
+        When True, :meth:`drive` runs each tick's batches through the
+        backend's :meth:`~repro.rounds.RoundProtocol.run_rounds_pipelined`
+        (the speculative decode/execute overlap) instead of the plain
+        batched path.  The recorded history and every ticket outcome are
+        bit-identical either way; overlapping scheduler ticks simply spend
+        less wall-clock in the execution phase.
     """
 
     def __init__(
@@ -93,12 +100,14 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         min_fill: int = 1,
         max_wait_ticks: int | None = RoundScheduler.DEFAULT_MAX_WAIT_TICKS,
         sequence_source: SequenceAllocator | None = None,
+        pipeline: bool = False,
     ) -> None:
         if not isinstance(backend, RoundProtocol):
             raise ConfigurationError(
                 f"backend {type(backend).__name__} does not implement RoundProtocol"
             )
         self.backend = backend
+        self.pipeline = bool(pipeline)
         self.pool = CommandPool(
             num_machines=backend.num_machines, sequence_source=sequence_source
         )
@@ -151,8 +160,13 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         planned = self.scheduler.plan(flush=flush)
         if not planned:
             return []
+        runner = (
+            self.backend.run_rounds_pipelined
+            if self.pipeline
+            else self.backend.run_rounds_batched
+        )
         try:
-            records = self.backend.run_rounds_batched(
+            records = runner(
                 [round_.commands for round_ in planned],
                 client_rounds=[round_.clients for round_ in planned],
             )
@@ -200,6 +214,7 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         backend: RoundProtocol,
         command_batches: Sequence[np.ndarray],
         client_prefix: str = "client",
+        pipeline: bool = False,
     ) -> list[ProtocolRound]:
         """Drive pre-grouped one-command-per-machine rounds through a service.
 
@@ -207,7 +222,9 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         (``submit_round_of_commands`` + ``run_rounds_batched``): batch ``b``
         row ``k`` is submitted by session ``{client_prefix}:{k}`` and the
         scheduler — pinned to full rounds — reproduces exactly one round per
-        batch, in order, with the legacy client labels.
+        batch, in order, with the legacy client labels.  ``pipeline`` routes
+        the drive through the backend's speculative pipelined path (same
+        history, lower execution cost).
         """
         if not len(command_batches):
             return []
@@ -215,6 +232,7 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             backend,
             max_batch_rounds=len(command_batches),
             min_fill=backend.num_machines,
+            pipeline=pipeline,
         )
         # Canonicalise every batch before any submission: a malformed batch
         # must fail fast, before consensus sees any of the rounds.

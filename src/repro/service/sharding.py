@@ -117,6 +117,11 @@ class ShardedCSMService:
     tick_mode:
         ``"all"`` (default) drives every shard on each :meth:`drive` tick;
         ``"round_robin"`` drives one shard per tick, cycling in shard order.
+    pipeline:
+        Forwarded to each shard's :class:`~repro.service.service.CSMService`:
+        every shard tick then runs through its backend's speculative
+        pipelined path (``run_rounds_pipelined``), with per-shard histories
+        bit-identical to the batched drive.
     """
 
     def __init__(
@@ -126,6 +131,7 @@ class ShardedCSMService:
         min_fill: int = 1,
         max_wait_ticks: int | None = RoundScheduler.DEFAULT_MAX_WAIT_TICKS,
         tick_mode: str = "all",
+        pipeline: bool = False,
     ) -> None:
         backends = list(backends)
         if not backends:
@@ -141,6 +147,7 @@ class ShardedCSMService:
                     "implement RoundProtocol"
                 )
         self.tick_mode = tick_mode
+        self.pipeline = bool(pipeline)
         self.sequence_source = SequenceAllocator()
         self.shards: list[CSMService] = [
             CSMService(
@@ -151,6 +158,7 @@ class ShardedCSMService:
                 min_fill=min(int(min_fill), backend.num_machines),
                 max_wait_ticks=max_wait_ticks,
                 sequence_source=self.sequence_source,
+                pipeline=self.pipeline,
             )
             for backend in backends
         ]

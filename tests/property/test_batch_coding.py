@@ -283,3 +283,97 @@ class TestDecodeFastAgainstScalarRounds:
         for fast in fast_rounds:
             observed.update(fast.error_nodes)
         assert observed <= suspects
+
+
+class TestStackedDecodeBatch:
+    """The stacked verification path must be a bit-exact drop-in for the
+    sequential ``decode_fast`` loop — same outputs, polynomials, error
+    nodes, learnt suspects *and charged operation counts* — across fault
+    onset, persistent faults and mixed partial-presence rounds."""
+
+    @relaxed
+    @given(
+        field_index=st.integers(0, len(FIELDS) - 1),
+        num_machines=st.integers(1, 4),
+        batch=st.integers(1, 8),
+        result_dim=st.integers(1, 3),
+        data=st.data(),
+    )
+    def test_matches_decode_fast_loop_bit_identically(
+        self, field_index, num_machines, batch, result_dim, data
+    ):
+        from repro.gf.field import OperationCounter
+
+        field = FIELDS[field_index]
+        num_nodes = num_machines + data.draw(st.integers(3, 8), label="extra")
+        scheme = LagrangeScheme(field, num_machines, num_nodes)
+        decoder = CodedResultDecoder(scheme, transition_degree=1)
+        dimension = decoder.code.dimension
+        radius = decoder.code.correction_radius
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31), label="seed"))
+        num_bad = int(rng.integers(0, radius + 1))
+        bad = [int(i) for i in rng.choice(num_nodes, size=num_bad, replace=False)]
+        onset = data.draw(st.integers(0, batch), label="onset")
+        silence_some = data.draw(st.booleans(), label="silence") and num_bad == 0
+        rounds = []
+        for b in range(batch):
+            coeffs = rng.integers(0, field.order, size=(dimension, result_dim))
+            results = field.matmul(decoder.code.encoding_matrix, coeffs)
+            if b >= onset:
+                for node in bad:
+                    results[node] = rng.integers(0, field.order, size=result_dim)
+            if silence_some and b % 2 == 1 and num_nodes - dimension >= 1:
+                # Mix partial-presence rounds into the run: these must be
+                # delegated to decode_fast and split the stacked runs.
+                rounds.append(
+                    [None if i == num_nodes - 1 else results[i] for i in range(num_nodes)]
+                )
+            else:
+                rounds.append(results)
+
+        loop_suspects: set[int] = set()
+        loop_counter = OperationCounter()
+        field.attach_counter(loop_counter)
+        loop = [decoder.decode_fast(entry, loop_suspects) for entry in rounds]
+        field.attach_counter(None)
+
+        batch_suspects: set[int] = set()
+        batch_counter = OperationCounter()
+        field.attach_counter(batch_counter)
+        stacked = decoder.decode_batch(rounds, batch_suspects)
+        field.attach_counter(None)
+
+        assert loop_suspects == batch_suspects
+        assert loop_counter.snapshot() == batch_counter.snapshot()
+        for a, b in zip(loop, stacked):
+            np.testing.assert_array_equal(a.outputs, b.outputs)
+            assert a.error_nodes == b.error_nodes
+            assert len(a.polynomials) == len(b.polynomials)
+            for p, q in zip(a.polynomials, b.polynomials):
+                np.testing.assert_array_equal(
+                    p.coefficient_array(), q.coefficient_array()
+                )
+
+    def test_stacked_run_splits_on_fault_onset(self):
+        """A mid-batch onset must fall back for the onset round only, then
+        re-group: later rounds keep decoding through the fast path with the
+        offender excluded from the pivot."""
+        field = FIELDS[-1]
+        scheme = LagrangeScheme(field, 3, 12)
+        decoder = CodedResultDecoder(scheme, transition_degree=1)
+        dimension = decoder.code.dimension
+        rng = np.random.default_rng(11)
+        rounds = []
+        for b in range(6):
+            coeffs = rng.integers(0, field.order, size=(dimension, 2))
+            results = field.matmul(decoder.code.encoding_matrix, coeffs)
+            if b >= 3:
+                results[0] = rng.integers(0, field.order, size=2)  # pivot member
+            rounds.append(results)
+        suspects: set[int] = set()
+        stacked = decoder.decode_batch(rounds, suspects)
+        reference = [decoder.decode(matrix) for matrix in rounds]
+        for a, b in zip(reference, stacked):
+            np.testing.assert_array_equal(a.outputs, b.outputs)
+            assert a.error_nodes == b.error_nodes
+        assert 0 in suspects

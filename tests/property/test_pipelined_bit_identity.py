@@ -1,0 +1,234 @@
+"""Property tests for the speculative decode/execute pipeline.
+
+:meth:`CSMProtocol.run_rounds_pipelined` advances honest state from a
+pivot-only speculative interpolation and defers the full error-locating
+verification to a stacked per-window check, rolling back and re-executing
+when speculation is invalidated — yet the recorded :class:`ProtocolRound`
+history, the delivered outputs, the failure accounting *and the learnt
+suspect set* must agree bit for bit with :meth:`run_rounds_batched`, across
+network models, verification windows and fault patterns — including a node
+that turns Byzantine mid-batch (the rollback path's worst case: the decoder
+trusted it as a pivot until its first bad round).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.exceptions import ConfigurationError
+from repro.gf.prime_field import PrimeField
+from repro.machine.library import bank_account_machine, quadratic_market_machine
+from repro.net.byzantine import (
+    CorruptResultBehavior,
+    DelayingBehavior,
+    FaultOnsetBehavior,
+    RandomGarbageBehavior,
+    SilentBehavior,
+)
+
+FIELD = PrimeField()
+
+relaxed = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+BEHAVIOR_FACTORIES = (
+    RandomGarbageBehavior,
+    SilentBehavior,
+    DelayingBehavior,
+    lambda: CorruptResultBehavior(offset=3),
+)
+
+
+def _largest_valid_config(
+    num_nodes: int, num_faults: int, degree: int, partially_synchronous: bool
+) -> CSMConfig | None:
+    """The widest configuration (capped at K=4) the bounds admit, or None."""
+    for k in range(min(4, num_nodes), 0, -1):
+        try:
+            return CSMConfig(
+                FIELD,
+                num_nodes=num_nodes,
+                num_machines=k,
+                degree=degree,
+                num_faults=num_faults,
+                partially_synchronous=partially_synchronous,
+            )
+        except ConfigurationError:
+            continue
+    return None
+
+
+def _assert_bit_identical(batched: CSMProtocol, pipelined: CSMProtocol) -> None:
+    assert len(batched.history) == len(pipelined.history)
+    for bat, pip in zip(batched.history, pipelined.history):
+        assert bat.round_index == pip.round_index
+        assert np.array_equal(bat.commands, pip.commands)
+        assert bat.clients == pip.clients
+        assert bat.consensus_views == pip.consensus_views
+        assert np.array_equal(bat.result.outputs, pip.result.outputs)
+        assert np.array_equal(bat.result.states, pip.result.states)
+        assert bat.result.correct == pip.result.correct
+        assert (
+            bat.result.diagnostics["error_nodes"]
+            == pip.result.diagnostics["error_nodes"]
+        )
+    # Client-facing state agrees: delivered outputs and failure book-keeping.
+    assert set(batched.delivered_outputs) == set(pipelined.delivered_outputs)
+    for client, outputs in batched.delivered_outputs.items():
+        assert len(outputs) == len(pipelined.delivered_outputs[client])
+        for a, b in zip(outputs, pipelined.delivered_outputs[client]):
+            assert np.array_equal(a, b)
+    assert batched.failed_deliveries == pipelined.failed_deliveries
+    assert batched.failed_rounds == pipelined.failed_rounds
+    # The decoder's learnt suspect set — which steers every later pivot
+    # choice — must come out identical as well.
+    assert batched.engine._suspects == pipelined.engine._suspects
+    # And so must the nodes' coded states, so subsequent calls stay aligned.
+    for bat_node, pip_node in zip(batched.engine.nodes, pipelined.engine.nodes):
+        assert np.array_equal(
+            bat_node.storage.coded_state, pip_node.storage.coded_state
+        )
+
+
+class TestPipelinedProtocolBitIdentity:
+    @relaxed
+    @given(data=st.data())
+    def test_history_matches_batched_path(self, data):
+        partially_synchronous = data.draw(st.booleans(), label="psync")
+        num_nodes = data.draw(st.sampled_from([6, 9, 10, 12]), label="N")
+        quadratic = data.draw(st.booleans(), label="quadratic")
+        machine = (
+            quadratic_market_machine(FIELD)
+            if quadratic
+            else bank_account_machine(FIELD, num_accounts=2)
+        )
+        fault_cap = (num_nodes - 1) // 3 if partially_synchronous else num_nodes // 4
+        num_faults = data.draw(st.integers(0, min(2, fault_cap)), label="b")
+        config = _largest_valid_config(
+            num_nodes, num_faults, machine.degree, partially_synchronous
+        )
+        if config is None:
+            return  # bounds leave no admissible K for this draw
+        fault_indices = data.draw(
+            st.lists(
+                st.integers(0, num_nodes - 1),
+                min_size=num_faults,
+                max_size=num_faults,
+                unique=True,
+            ),
+            label="fault_indices",
+        )
+        num_rounds = data.draw(st.integers(1, 6), label="rounds")
+        behaviors = {}
+        for index in fault_indices:
+            inner = BEHAVIOR_FACTORIES[
+                data.draw(st.integers(0, len(BEHAVIOR_FACTORIES) - 1))
+            ]()
+            if data.draw(st.booleans(), label=f"onset-{index}"):
+                behaviors[f"node-{index}"] = FaultOnsetBehavior(
+                    inner, data.draw(st.integers(0, num_rounds), label=f"round-{index}")
+                )
+            else:
+                behaviors[f"node-{index}"] = inner
+        verify_window = data.draw(st.sampled_from([1, 2, 3, 5, 16]), label="window")
+        command_rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        batches = [
+            command_rng.integers(
+                1, 1000, size=(config.num_machines, machine.command_dim)
+            )
+            for _ in range(num_rounds)
+        ]
+
+        import copy
+
+        batched = CSMProtocol(
+            config, machine, copy.deepcopy(behaviors), rng=np.random.default_rng(5)
+        )
+        pipelined = CSMProtocol(
+            config, machine, copy.deepcopy(behaviors), rng=np.random.default_rng(5)
+        )
+        batched.run_rounds_batched(batches)
+        pipelined.run_rounds_pipelined(batches, verify_window=verify_window)
+        _assert_bit_identical(batched, pipelined)
+
+    def test_mid_batch_onset_triggers_rollback_and_stays_identical(self):
+        """A pivot node turning Byzantine mid-batch must invalidate in-flight
+        speculation (observable as a rollback + replay in the diagnostics)
+        and still leave history, outputs and suspects bit-identical."""
+        import copy
+
+        machine = bank_account_machine(FIELD, num_accounts=2)
+        config = CSMConfig(
+            FIELD, num_nodes=12, num_machines=3, degree=machine.degree, num_faults=2
+        )
+        # node-0 sits in the initial pivot (first `dimension` non-suspects).
+        behaviors = {
+            "node-0": FaultOnsetBehavior(RandomGarbageBehavior(), onset_round=3),
+            "node-1": FaultOnsetBehavior(CorruptResultBehavior(offset=9), onset_round=5),
+        }
+        command_rng = np.random.default_rng(17)
+        batches = [
+            command_rng.integers(1, 1000, size=(3, machine.command_dim))
+            for _ in range(10)
+        ]
+        batched = CSMProtocol(
+            config, machine, copy.deepcopy(behaviors), rng=np.random.default_rng(5)
+        )
+        pipelined = CSMProtocol(
+            config, machine, copy.deepcopy(behaviors), rng=np.random.default_rng(5)
+        )
+        batched.run_rounds_batched(batches)
+        pipelined.run_rounds_pipelined(batches, verify_window=16)
+        _assert_bit_identical(batched, pipelined)
+        speculation = [
+            record.result.diagnostics.get("speculation")
+            for record in pipelined.history
+        ]
+        assert "rollback" in speculation  # the onset round was re-resolved
+        assert speculation.count("confirmed") >= 1  # speculation still paid off
+        assert 0 in pipelined.engine._suspects
+        assert 1 in pipelined.engine._suspects
+
+    def test_service_pipeline_flag_preserves_ticket_outcomes(self):
+        """CSMService(pipeline=True) must resolve every ticket exactly as the
+        batched drive does, onset faults included."""
+        import copy
+
+        from repro.service import CSMService
+
+        machine = bank_account_machine(FIELD, num_accounts=2)
+        config = CSMConfig(
+            FIELD, num_nodes=10, num_machines=3, degree=machine.degree, num_faults=1
+        )
+        behaviors = {
+            "node-2": FaultOnsetBehavior(RandomGarbageBehavior(), onset_round=2)
+        }
+        command_rng = np.random.default_rng(23)
+        batches = [
+            command_rng.integers(1, 1000, size=(3, machine.command_dim))
+            for _ in range(6)
+        ]
+
+        def run(pipeline: bool):
+            protocol = CSMProtocol(
+                config, machine, copy.deepcopy(behaviors), rng=np.random.default_rng(5)
+            )
+            service = CSMService(
+                protocol, max_batch_rounds=6, min_fill=3, pipeline=pipeline
+            )
+            sessions = [service.connect(f"client:{k}") for k in range(3)]
+            for batch in batches:
+                for k in range(3):
+                    sessions[k].submit(k, batch[k])
+            service.drain()
+            return protocol, service
+
+        batched_protocol, batched_service = run(False)
+        pipelined_protocol, pipelined_service = run(True)
+        _assert_bit_identical(batched_protocol, pipelined_protocol)
+        for bat, pip in zip(batched_service.tickets(), pipelined_service.tickets()):
+            assert bat.sequence == pip.sequence
+            assert bat.state is pip.state
+            assert bat.machine_index == pip.machine_index

@@ -216,3 +216,194 @@ class TestMeasurementBugfixes:
         assert batched.all_correct == scalar.all_correct
         assert batched.failed_rounds == scalar.failed_rounds
         assert batched.storage_efficiency == scalar.storage_efficiency
+
+
+class TestSpeculativePipeline:
+    """Engine-level contract of ``execute_rounds_pipelined``: bit-identical
+    results across fault patterns and verify windows, rollback on
+    mis-speculation, and graceful handling of rounds it cannot speculate."""
+
+    @pytest.mark.parametrize("verify_window", [1, 2, 3, 16])
+    @pytest.mark.parametrize("num_garbage,num_silent", [(0, 0), (2, 0), (1, 1)])
+    def test_bit_identical_to_batched(
+        self, big_field, num_garbage, num_silent, verify_window
+    ):
+        def behaviors(node_ids):
+            chosen = {
+                node_ids[i]: RandomGarbageBehavior() for i in range(num_garbage)
+            }
+            for j in range(num_silent):
+                chosen[node_ids[num_garbage + j]] = SilentBehavior()
+            return chosen
+
+        batch_engine, machine = _coded_engine(
+            big_field, 12, 4, behaviors, num_faults=1
+        )
+        pipelined_engine, _ = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        commands = np.random.default_rng(9).integers(
+            1, 1000, size=(7, 4, machine.command_dim)
+        )
+        batch_results = batch_engine.execute_rounds(commands)
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(
+            commands, verify_window=verify_window
+        )
+        for batch_round, pipelined_round in zip(batch_results, pipelined_results):
+            assert batch_round.round_index == pipelined_round.round_index
+            np.testing.assert_array_equal(
+                batch_round.outputs, pipelined_round.outputs
+            )
+            np.testing.assert_array_equal(batch_round.states, pipelined_round.states)
+            assert batch_round.correct == pipelined_round.correct
+            assert (
+                batch_round.diagnostics["error_nodes"]
+                == pipelined_round.diagnostics["error_nodes"]
+            )
+            assert pipelined_round.diagnostics["pipelined"] is True
+        assert batch_engine._suspects == pipelined_engine._suspects
+        for batch_node, pipelined_node in zip(
+            batch_engine.nodes, pipelined_engine.nodes
+        ):
+            np.testing.assert_array_equal(
+                batch_node.coded_state, pipelined_node.coded_state
+            )
+
+    def test_garbage_pivot_node_forces_rollback(self, big_field):
+        """A Byzantine node inside the trusted pivot invalidates speculation:
+        its rounds resolve through the rollback path, later rounds re-learn
+        the fast path, and every result still matches the batched engine."""
+
+        def behaviors(node_ids):
+            return {node_ids[0]: RandomGarbageBehavior()}
+
+        batch_engine, machine = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        pipelined_engine, _ = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        commands = np.random.default_rng(3).integers(
+            1, 1000, size=(6, 4, machine.command_dim)
+        )
+        batch_results = batch_engine.execute_rounds(commands)
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(commands)
+        speculation = [r.diagnostics["speculation"] for r in pipelined_results]
+        assert speculation[0] == "rollback"  # node-0 sat in the initial pivot
+        assert "confirmed" in speculation[1:]  # pivots re-learnt around it
+        for batch_round, pipelined_round in zip(batch_results, pipelined_results):
+            np.testing.assert_array_equal(
+                batch_round.outputs, pipelined_round.outputs
+            )
+            assert batch_round.correct == pipelined_round.correct
+        assert 0 in pipelined_engine._suspects
+
+    def test_silent_rounds_resolve_inline(self, big_field):
+        def behaviors(node_ids):
+            return {node_ids[2]: SilentBehavior()}
+
+        engine, machine = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        commands = np.random.default_rng(5).integers(
+            1, 1000, size=(3, 4, machine.command_dim)
+        )
+        results = engine.execute_rounds_pipelined(commands)
+        assert all(r.diagnostics["speculation"] == "inline" for r in results)
+        assert all(r.correct for r in results)
+
+    def test_decode_failure_restores_checkpoint(self, big_field):
+        """Past-the-radius corruption fails verification; the pipelined path
+        must restore the checkpoint and report the identical failed rounds."""
+
+        def behaviors(node_ids):
+            return {node_ids[i]: RandomGarbageBehavior() for i in range(5)}
+
+        batch_engine, machine = _coded_engine(big_field, 12, 6, behaviors, num_faults=1)
+        pipelined_engine, _ = _coded_engine(big_field, 12, 6, behaviors, num_faults=1)
+        commands = np.random.default_rng(8).integers(
+            1, 1000, size=(4, 6, machine.command_dim)
+        )
+        batch_results = batch_engine.execute_rounds(commands)
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(commands)
+        assert any(r.diagnostics["decoding_failed"] for r in batch_results)
+        for batch_round, pipelined_round in zip(batch_results, pipelined_results):
+            np.testing.assert_array_equal(
+                batch_round.outputs, pipelined_round.outputs
+            )
+            np.testing.assert_array_equal(batch_round.states, pipelined_round.states)
+            assert batch_round.correct == pipelined_round.correct
+            assert (
+                batch_round.diagnostics["decoding_failed"]
+                == pipelined_round.diagnostics["decoding_failed"]
+            )
+        for batch_node, pipelined_node in zip(
+            batch_engine.nodes, pipelined_engine.nodes
+        ):
+            np.testing.assert_array_equal(
+                batch_node.coded_state, pipelined_node.coded_state
+            )
+
+    def test_repeated_calls_stay_aligned(self, big_field):
+        """Service ticks call the pipeline repeatedly; state carried between
+        calls (suspects, coded states, round indices) must stay in lockstep
+        with the batched engine."""
+
+        def behaviors(node_ids):
+            return {node_ids[0]: RandomGarbageBehavior()}
+
+        batch_engine, machine = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        pipelined_engine, _ = _coded_engine(big_field, 12, 4, behaviors, num_faults=1)
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            commands = rng.integers(1, 1000, size=(4, 4, machine.command_dim))
+            batch_results = batch_engine.execute_rounds(commands)
+            pipelined_results = pipelined_engine.execute_rounds_pipelined(
+                commands, verify_window=2
+            )
+            for batch_round, pipelined_round in zip(batch_results, pipelined_results):
+                assert batch_round.round_index == pipelined_round.round_index
+                np.testing.assert_array_equal(
+                    batch_round.outputs, pipelined_round.outputs
+                )
+        assert batch_engine.round_index == pipelined_engine.round_index
+
+    def test_rejects_non_positive_verify_window(self, big_field):
+        engine, machine = _coded_engine(big_field, 9, 3, lambda ids: {})
+        commands = np.random.default_rng(0).integers(
+            1, 100, size=(2, 3, machine.command_dim)
+        )
+        with pytest.raises(ConfigurationError):
+            engine.execute_rounds_pipelined(commands, verify_window=0)
+
+    def test_partial_round_after_rollback_recomputes_on_repaired_states(
+        self, big_field
+    ):
+        """Regression: a silent round arriving while mis-speculated rounds are
+        still unverified must not decode results computed on the wrong bank —
+        the flush rolls back first, then the round's honest results are
+        recomputed on the repaired states."""
+        from repro.net.byzantine import FaultOnsetBehavior
+
+        def behaviors(node_ids):
+            return {
+                # In the initial pivot: honest for round 0, garbage after —
+                # invalidating the speculation the silent round lands on.
+                node_ids[0]: FaultOnsetBehavior(
+                    RandomGarbageBehavior(), onset_round=1
+                ),
+                node_ids[7]: FaultOnsetBehavior(SilentBehavior(), onset_round=2),
+            }
+
+        batch_engine, machine = _coded_engine(big_field, 12, 3, behaviors, num_faults=2)
+        pipelined_engine, _ = _coded_engine(big_field, 12, 3, behaviors, num_faults=2)
+        commands = np.random.default_rng(13).integers(
+            1, 1000, size=(6, 3, machine.command_dim)
+        )
+        batch_results = batch_engine.execute_rounds(commands)
+        pipelined_results = pipelined_engine.execute_rounds_pipelined(
+            commands, verify_window=16
+        )
+        for batch_round, pipelined_round in zip(batch_results, pipelined_results):
+            np.testing.assert_array_equal(
+                batch_round.outputs, pipelined_round.outputs
+            )
+            np.testing.assert_array_equal(batch_round.states, pipelined_round.states)
+            assert batch_round.correct == pipelined_round.correct
+            assert (
+                batch_round.diagnostics["error_nodes"]
+                == pipelined_round.diagnostics["error_nodes"]
+            )
+        assert batch_engine._suspects == pipelined_engine._suspects

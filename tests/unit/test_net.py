@@ -8,6 +8,7 @@ from repro.net.byzantine import (
     CorruptResultBehavior,
     DelayingBehavior,
     EquivocatingBehavior,
+    FaultOnsetBehavior,
     HonestBehavior,
     RandomGarbageBehavior,
     SilentBehavior,
@@ -290,3 +291,25 @@ class TestByzantineBehaviors:
         assert isinstance(behavior_from_name("silent"), SilentBehavior)
         with pytest.raises(ValueError):
             behavior_from_name("teleport")
+
+    def test_fault_onset_behavior_honest_then_inner(self, big_field, rng):
+        behavior = FaultOnsetBehavior(CorruptResultBehavior(offset=7), onset_round=2)
+        assert behavior.is_faulty  # counted in the fault budget from round 0
+        value = np.array([1, 2])
+        # Rounds 0 and 1: honest copies of the true value.
+        assert behavior.transform_result(big_field, "n", value, rng).tolist() == [1, 2]
+        assert behavior.transform_result(big_field, "n", value, rng).tolist() == [1, 2]
+        # Round 2 onwards: the inner deviation takes over.
+        assert behavior.transform_result(big_field, "n", value, rng).tolist() == [8, 9]
+        assert behavior.transform_result(big_field, "n", value, rng).tolist() == [8, 9]
+
+    def test_fault_onset_behavior_defers_inner_delay(self, big_field, rng):
+        behavior = FaultOnsetBehavior(DelayingBehavior(), onset_round=1)
+        behavior.transform_result(big_field, "n", np.array([5]), rng)
+        assert not behavior.delays_message()  # round 0 was honest
+        behavior.transform_result(big_field, "n", np.array([5]), rng)
+        assert behavior.delays_message()  # onset reached
+
+    def test_fault_onset_behavior_rejects_negative_onset(self):
+        with pytest.raises(ValueError):
+            FaultOnsetBehavior(RandomGarbageBehavior(), onset_round=-1)
