@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI regression gate for the ``BENCH_throughput.json`` perf artifact.
+
+Compares a freshly generated artifact against the committed baseline at the
+repository root and fails (exit 1) when a tracked metric regresses by more
+than the tolerance (default 15%).
+
+Two classes of metric are gated differently:
+
+* **Deterministic throughput** (``protocol-batched``, ``protocol-pipelined``,
+  ``service`` — the paper metric, commands per unit per-node field
+  operation): a pure function of the protocol configuration, so it is
+  compared *raw* across machines.  Any drop beyond tolerance means the
+  protocol is doing more field operations per delivered command than the
+  baseline run did.
+* **Wall-clock rates** (``engine-*`` commands/sec, ``consensus-*``
+  decisions/sec, ``sharded``): machine-dependent, so by default only the
+  *self-normalised* ratios recorded inside each artifact are compared —
+  ``pipelined_speedup_at_largest``, ``consensus_speedup_at_largest`` (both
+  must not shrink beyond tolerance) and
+  ``consensus_over_execution_at_largest`` (must not grow beyond tolerance).
+  Pass ``--raw`` to additionally gate the absolute rates when both
+  artifacts were produced on the same machine.
+
+Usage::
+
+    python benchmarks/check_throughput_regression.py CURRENT.json \
+        [--baseline BENCH_throughput.json] [--tolerance 0.15] [--raw]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Modes whose per-N values are deterministic functions of the configuration
+# (operation counts, not wall-clock) and therefore comparable across machines.
+DETERMINISTIC_MODES = ("protocol-batched", "protocol-pipelined", "service")
+
+# Modes whose per-N values are wall-clock rates: gated only under --raw.
+WALL_CLOCK_MODES = (
+    "engine-batched",
+    "engine-pipelined",
+    "consensus-vectorised",
+    "consensus-oracle",
+    "sharded",
+)
+
+# Self-normalised ratios: (key, direction) where direction "min" means the
+# current value must not fall more than tolerance below baseline and "max"
+# means it must not rise more than tolerance above it.
+RATIO_METRICS = (
+    ("pipelined_speedup_at_largest", "min"),
+    ("consensus_speedup_at_largest", "min"),
+    ("consensus_over_execution_at_largest", "max"),
+)
+
+
+def _compare_value(name, baseline, current, tolerance, direction, failures):
+    if baseline is None or current is None:
+        return
+    baseline = float(baseline)
+    current = float(current)
+    if baseline <= 0:
+        return
+    if direction == "min" and current < baseline * (1.0 - tolerance):
+        failures.append(
+            f"{name}: {current:.4g} fell more than {tolerance:.0%} below "
+            f"baseline {baseline:.4g}"
+        )
+    elif direction == "max" and current > baseline * (1.0 + tolerance):
+        failures.append(
+            f"{name}: {current:.4g} rose more than {tolerance:.0%} above "
+            f"baseline {baseline:.4g}"
+        )
+
+
+def compare(baseline: dict, current: dict, tolerance: float, raw: bool) -> list[str]:
+    """Return the list of regression messages (empty when the gate passes)."""
+    failures: list[str] = []
+    modes = DETERMINISTIC_MODES + (WALL_CLOCK_MODES if raw else ())
+    for mode in modes:
+        base_mode = baseline.get("modes", {}).get(mode, {})
+        cur_mode = current.get("modes", {}).get(mode, {})
+        for key, base_value in base_mode.items():
+            _compare_value(
+                f"modes[{mode}][{key}]",
+                base_value,
+                cur_mode.get(key),
+                tolerance,
+                "min",
+                failures,
+            )
+    for key, direction in RATIO_METRICS:
+        _compare_value(
+            key, baseline.get(key), current.get(key), tolerance, direction, failures
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_throughput.json")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"),
+        help="committed baseline artifact (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression before the gate fails (default 0.15)",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help=(
+            "also gate the machine-dependent wall-clock rates (only meaningful "
+            "when baseline and current ran on the same machine)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+
+    failures = compare(baseline, current, args.tolerance, args.raw)
+    if failures:
+        print("THROUGHPUT REGRESSION GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    checked = len(DETERMINISTIC_MODES) + len(RATIO_METRICS) + (
+        len(WALL_CLOCK_MODES) if args.raw else 0
+    )
+    print(
+        f"throughput gate passed: {checked} metric groups within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

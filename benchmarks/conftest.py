@@ -59,6 +59,29 @@ def pytest_addoption(parser):
     )
 
     parser.addoption(
+        "--consensus-only",
+        action="store_true",
+        default=False,
+        help=(
+            "Enable the consensus-phase micro-benchmark "
+            "(scaling.consensus_rows: decisions/sec for the vectorised "
+            "message plane versus the event-driven oracle, plus the "
+            "consensus-over-execution wall-clock ratio)."
+        ),
+    )
+
+    parser.addoption(
+        "--consensus-oracle",
+        action="store_true",
+        default=False,
+        help=(
+            "Pin the end-to-end protocol benchmarks to the event-driven "
+            "consensus oracle (vectorised_consensus=False), so CI exercises "
+            "the reference path alongside the message-plane fast path."
+        ),
+    )
+
+    parser.addoption(
         "--json",
         action="store",
         default=None,
@@ -93,6 +116,18 @@ def shard_count(request) -> int:
 def pipelined_mode(request) -> bool:
     """Whether ``--pipelined`` was passed on the command line."""
     return bool(request.config.getoption("--pipelined"))
+
+
+@pytest.fixture(scope="session")
+def consensus_only_mode(request) -> bool:
+    """Whether ``--consensus-only`` was passed on the command line."""
+    return bool(request.config.getoption("--consensus-only"))
+
+
+@pytest.fixture(scope="session")
+def consensus_oracle_mode(request) -> bool:
+    """Whether ``--consensus-oracle`` was passed on the command line."""
+    return bool(request.config.getoption("--consensus-oracle"))
 
 
 @pytest.fixture(scope="session")

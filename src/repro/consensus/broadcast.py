@@ -119,10 +119,139 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
             "(more faults than nodes?)"
         )
 
-    # The batched round driver is inherited: ConsensusProtocol.decide_rounds
-    # wraps the sequential loop in this network's bulk delivery path, so a
-    # batch of rounds pays one signature check per propose/echo broadcast
-    # instead of one per copy, with bit-identical decisions.
+    # -- vectorised message plane ------------------------------------------------------
+    # ConsensusProtocol.decide_rounds drives batches of rounds through this
+    # path by default: each propose/echo phase is dispatched and tallied as a
+    # struct-of-arrays PhaseBatch instead of per-copy messages.  decide_round
+    # above stays the event-driven reference oracle; decisions, rng stream,
+    # counters and delivery log are bit-identical between the two.
+    def _decide_round_vectorised(
+        self, round_index: int, plane
+    ) -> dict[str, ConsensusDecision]:
+        selected = self.pool.peek_round()
+        if any(entry is None for entry in selected):
+            raise LivenessError(
+                "every state machine needs at least one pending client command"
+            )
+        # Validity consults the pool, which only changes between rounds
+        # (mark_executed), so the memo must not outlive this round.
+        validity: dict[int, bool] = {}
+        max_views = self.num_nodes
+        for view in range(max_views):
+            leader = self.leader_for(round_index, view)
+            decisions = self._attempt_view_vectorised(
+                round_index, view, leader, selected, plane, validity
+            )
+            if decisions:
+                sample = next(iter(decisions.values()))
+                for k, entry in enumerate(sample.selected):
+                    self.pool.mark_executed(k, entry)
+                return decisions
+        raise ConsensusError(
+            f"no view with an honest leader within {max_views} attempts "
+            "(more faults than nodes?)"
+        )
+
+    def _attempt_view_vectorised(
+        self,
+        round_index: int,
+        view: int,
+        leader: str,
+        selected: list[SubmittedCommand],
+        plane,
+        validity: dict[int, bool],
+    ) -> dict[str, ConsensusDecision]:
+        behavior = self.behavior_of(leader)
+        broadcasts, sends = self._propose_actions(
+            round_index, view, leader, behavior, selected
+        )
+        # Equivocation stays on the scalar path: targeted sends go through
+        # the scheduler (consuming the rng exactly as the oracle does) and
+        # surface at collection as stragglers.
+        for message in sends:
+            self.network.send(message)
+        refs = [plane.register(message.payload) for message in broadcasts]
+        batch = plane.broadcast_phase(broadcasts, refs)
+        proposals = plane.collect_phase(
+            batch, MessageKind.CONSENSUS_PROPOSAL, round_index
+        )
+        # Step 2: every honest node echoes what it received, in node order —
+        # one batched phase instead of per-node broadcasts.
+        echo_templates: list[Message] = []
+        echo_refs: list[int] = []
+        for j, node_id in enumerate(self.node_ids):
+            if self.behavior_of(node_id).is_faulty:
+                continue
+            for message, ref in proposals.messages_for(j):
+                if message.metadata.get("view") != view:
+                    continue
+                echo_templates.append(
+                    Message(
+                        sender=node_id,
+                        recipient="*",
+                        kind=MessageKind.CONSENSUS_VOTE,
+                        round_index=round_index,
+                        payload=message.payload,
+                        metadata={
+                            "view": view,
+                            "leader_signature": message.signature,
+                            "leader": message.sender,
+                        },
+                    )
+                )
+                echo_refs.append(ref)
+        echo_batch = plane.broadcast_phase(echo_templates, echo_refs)
+        echoes = plane.collect_phase(
+            echo_batch, MessageKind.CONSENSUS_VOTE, round_index
+        )
+        # Step 3: decision at each honest node, deduplicating proposals by
+        # memoised content key instead of re-tupling payloads per node.
+        decisions: dict[str, ConsensusDecision] = {}
+        decisions_by_ref: dict[int, ConsensusDecision] = {}
+        for j, node_id in enumerate(self.node_ids):
+            if self.behavior_of(node_id).is_faulty:
+                continue
+            seen: dict[tuple, int] = {}
+            for message, ref in proposals.messages_for(j):
+                if message.sender != leader or message.metadata.get("view") != view:
+                    continue
+                key = plane.content_key(ref, self._payload_key)
+                if key not in seen:
+                    seen[key] = ref
+            for message, ref in echoes.messages_for(j):
+                if message.metadata.get("view") != view:
+                    continue
+                if message.metadata.get("leader") != leader:
+                    continue
+                key = plane.content_key(ref, self._payload_key)
+                if key not in seen:
+                    seen[key] = ref
+            valid_refs = [
+                ref for ref in seen.values() if self._ref_valid(ref, plane, validity)
+            ]
+            if len(valid_refs) != 1:
+                return {}
+            ref = valid_refs[0]
+            decision = decisions_by_ref.get(ref)
+            if decision is None:
+                decision = self._decision_from_payload(
+                    round_index, view, leader, plane.payload(ref)
+                )
+                decisions_by_ref[ref] = decision
+            decisions[node_id] = decision
+        if not decisions:
+            return {}
+        tuples = {d.command_tuple() for d in decisions.values()}
+        if len(tuples) != 1:
+            raise ConsensusError("honest nodes decided different command vectors")
+        return decisions
+
+    def _ref_valid(self, ref: int, plane, validity: dict[int, bool]) -> bool:
+        cached = validity.get(ref)
+        if cached is None:
+            cached = self._is_valid_proposal(plane.payload(ref))
+            validity[ref] = cached
+        return cached
 
     # -- internals ----------------------------------------------------------------------
     def _attempt_view(
@@ -188,6 +317,28 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
         behavior: ByzantineBehavior,
         selected: list[SubmittedCommand],
     ) -> None:
+        broadcasts, sends = self._propose_actions(
+            round_index, view, leader, behavior, selected
+        )
+        for message in sends:
+            self.network.send(message)
+        for message in broadcasts:
+            self.network.broadcast(message, recipients=self.node_ids)
+
+    def _propose_actions(
+        self,
+        round_index: int,
+        view: int,
+        leader: str,
+        behavior: ByzantineBehavior,
+        selected: list[SubmittedCommand],
+    ) -> tuple[list[Message], list[Message]]:
+        """The leader's propose step as ``(broadcasts, targeted sends)``.
+
+        Shared by the event-driven oracle and the vectorised plane so the
+        two paths dispatch identical messages by construction; a behavior
+        either broadcasts or equivocates via sends, never both.
+        """
         honest_payload = self._payload_from_selection(selected)
         if not behavior.is_faulty:
             proposal = Message(
@@ -198,10 +349,9 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
                 payload=honest_payload,
                 metadata={"view": view},
             )
-            self.network.broadcast(proposal, recipients=self.node_ids)
-            return
+            return [proposal], []
         if isinstance(behavior, (SilentBehavior, DelayingBehavior)):
-            return  # no proposal this view
+            return [], []  # no proposal this view
         if isinstance(behavior, EquivocatingBehavior):
             # Different (still validly signed) proposals to different halves.
             midpoint = self.num_nodes // 2
@@ -209,19 +359,18 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
             alt_payload["commands"] = [
                 [int(v) + 1 for v in row] for row in honest_payload["commands"]
             ]
-            for index, node_id in enumerate(self.node_ids):
-                payload = honest_payload if index < midpoint else alt_payload
-                self.network.send(
-                    Message(
-                        sender=leader,
-                        recipient=node_id,
-                        kind=MessageKind.CONSENSUS_PROPOSAL,
-                        round_index=round_index,
-                        payload=payload,
-                        metadata={"view": view},
-                    )
+            sends = [
+                Message(
+                    sender=leader,
+                    recipient=node_id,
+                    kind=MessageKind.CONSENSUS_PROPOSAL,
+                    round_index=round_index,
+                    payload=honest_payload if index < midpoint else alt_payload,
+                    metadata={"view": view},
                 )
-            return
+                for index, node_id in enumerate(self.node_ids)
+            ]
+            return [], sends
         # Default Byzantine leader: propose a command nobody submitted.
         bogus = dict(honest_payload)
         bogus["commands"] = [[int(v) + 7 for v in row] for row in honest_payload["commands"]]
@@ -234,7 +383,7 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
             payload=bogus,
             metadata={"view": view},
         )
-        self.network.broadcast(proposal, recipients=self.node_ids)
+        return [proposal], []
 
     @staticmethod
     def _payload_from_selection(selected: list[SubmittedCommand]) -> dict:

@@ -47,12 +47,37 @@ class ConsensusDecision:
     view: int = 0
 
     def command_tuple(self) -> tuple[tuple[int, ...], ...]:
-        """Hashable representation used to compare decisions across nodes."""
-        return tuple(tuple(int(v) for v in row) for row in np.asarray(self.commands))
+        """Hashable representation used to compare decisions across nodes.
+
+        Memoised: decisions are immutable once returned, and the vectorised
+        consensus plane shares one decision object across all honest nodes,
+        so consistency checks and the protocol layer's decision selection
+        hit the cache instead of re-tupling the command array per node.
+        """
+        cached = self.__dict__.get("_command_tuple")
+        if cached is None:
+            cached = tuple(
+                tuple(int(v) for v in row) for row in np.asarray(self.commands)
+            )
+            self.__dict__["_command_tuple"] = cached
+        return cached
 
 
 class ConsensusProtocol(ABC):
     """A protocol that the honest nodes run to agree on the round's commands."""
+
+    #: When True (the default) :meth:`decide_rounds` drives each round through
+    #: the vectorised message plane — phase batches, one-shot batch
+    #: signing/verification and array quorum tallies — provided the protocol
+    #: implements ``_decide_round_vectorised`` and the network supports phase
+    #: batches.  Set False to force the event-driven reference oracle.
+    use_vectorised_plane: bool = True
+
+    #: Rounds decided through a slow path (sequential :meth:`decide_round`,
+    #: with or without bulk delivery) because the vectorised plane was
+    #: unavailable or disabled.  Previously this fallback was silent; the
+    #: counter makes a disabled fast path observable in experiment reports.
+    fast_path_disabled: int = 0
 
     @abstractmethod
     def decide_round(self, round_index: int) -> dict[str, ConsensusDecision]:
@@ -62,7 +87,20 @@ class ConsensusProtocol(ABC):
         Byzantine nodes do not produce meaningful decisions.  Tests check
         the paper's consistency property by asserting all returned decisions
         have equal :meth:`ConsensusDecision.command_tuple`.
+
+        This event-driven, per-copy path is the *reference oracle* for the
+        vectorised plane: ``decide_rounds`` must produce bit-identical
+        decisions, rng consumption, counters and delivery log.
         """
+
+    def _vectorised_plane_available(self) -> bool:
+        """Whether :meth:`decide_rounds` can run on the vectorised plane."""
+        network = getattr(self, "network", None)
+        return (
+            self.use_vectorised_plane
+            and getattr(network, "supports_phase_batches", False)
+            and hasattr(self, "_decide_round_vectorised")
+        )
 
     def decide_rounds(
         self,
@@ -74,11 +112,17 @@ class ConsensusProtocol(ABC):
 
         Rounds are always decided in order — the command-pool selection for
         round ``t + 1`` depends on round ``t``'s decision being marked
-        executed — but when the protocol runs over a
-        :class:`~repro.net.network.SimulatedNetwork` every broadcast in the
-        batch is routed through its bulk delivery path
-        (:meth:`SimulatedNetwork.deliver_all`), amortising the per-copy
-        scheduler events and signature checks across the whole batch.
+        executed — but over a :class:`~repro.net.network.SimulatedNetwork`
+        each round's phases run on the **vectorised message plane**
+        (:class:`~repro.net.network.MessagePlane`): one
+        struct-of-arrays batch per phase, batch signing/verification, one
+        vectorised delay draw per phase and array quorum tallies instead of
+        per-copy messages and mailbox drains.  When the plane is unavailable
+        (no network, a network without phase batches, a protocol without a
+        vectorised driver) or disabled via :attr:`use_vectorised_plane`, the
+        rounds fall back to the sequential oracle — through bulk delivery if
+        the network offers it — and :attr:`fast_path_disabled` is advanced by
+        ``count`` so the slow path is observable instead of silent.
 
         ``prepare_round(offset)`` is invoked immediately before each round is
         decided; batched drivers use it to submit that round's client
@@ -88,9 +132,25 @@ class ConsensusProtocol(ABC):
         visible yet — an equivocating leader's forged payload could otherwise
         coincide with a later round's real command and pass validation that
         the sequential path would reject.  The returned per-round decision
-        maps — and the rng/delay stream — are bit-identical to the
+        maps — and the rng/delay stream, message/signature counters and
+        delivery log — are bit-identical to the
         submit-then-:meth:`decide_round` sequential loop.
         """
+        if self._vectorised_plane_available():
+            from repro.net.network import MessagePlane
+
+            plane = MessagePlane(self.network, self.node_ids)
+            decisions = []
+            for offset in range(count):
+                if prepare_round is not None:
+                    prepare_round(offset)
+                decisions.append(
+                    self._decide_round_vectorised(first_round_index + offset, plane)
+                )
+            return decisions
+
+        self.fast_path_disabled += count
+
         def _run() -> list[dict[str, ConsensusDecision]]:
             decisions = []
             for offset in range(count):

@@ -111,10 +111,198 @@ class PBFTConsensus(ConsensusProtocol):
             "(network may not have stabilised or too many faults)"
         )
 
-    # The batched round driver is inherited: ConsensusProtocol.decide_rounds
-    # wraps the sequential loop in this network's bulk delivery path, so a
-    # batch of rounds pays one signature check per pre-prepare/prepare/commit
-    # broadcast instead of one per copy, with bit-identical decisions.
+    # -- vectorised message plane ------------------------------------------------------
+    # ConsensusProtocol.decide_rounds drives batches of rounds through this
+    # path by default: each pre-prepare/prepare/commit phase is dispatched
+    # and quorum-tallied as a struct-of-arrays PhaseBatch instead of per-copy
+    # messages and mailbox drains.  decide_round above stays the event-driven
+    # reference oracle; decisions, rng stream, counters and delivery log are
+    # bit-identical between the two.
+    def _decide_round_vectorised(
+        self, round_index: int, plane
+    ) -> dict[str, ConsensusDecision]:
+        selected = self.pool.peek_round()
+        if any(entry is None for entry in selected):
+            raise LivenessError(
+                "every state machine needs at least one pending client command"
+            )
+        # Validity consults the pool, which only changes between rounds
+        # (mark_executed), so the memo must not outlive this round.
+        validity: dict[int, bool] = {}
+        for view in range(self.max_views):
+            primary = self.primary_for(round_index, view)
+            decisions = self._attempt_view_vectorised(
+                round_index, view, primary, selected, plane, validity
+            )
+            if decisions:
+                sample = next(iter(decisions.values()))
+                for k, entry in enumerate(sample.selected):
+                    self.pool.mark_executed(k, entry)
+                return decisions
+        raise ConsensusError(
+            f"PBFT failed to decide round {round_index} within {self.max_views} views "
+            "(network may not have stabilised or too many faults)"
+        )
+
+    def _attempt_view_vectorised(
+        self,
+        round_index: int,
+        view: int,
+        primary: str,
+        selected: list[SubmittedCommand],
+        plane,
+        validity: dict[int, bool],
+    ) -> dict[str, ConsensusDecision]:
+        timeout = self.view_timeout or self.network.delay_model.synchronous_bound
+        payload = {
+            "commands": [list(entry.command) for entry in selected],
+            "clients": [entry.client_id for entry in selected],
+            "sequences": [entry.sequence for entry in selected],
+        }
+        broadcasts, sends = self._pre_prepare_actions(round_index, view, primary, payload)
+        # Equivocation stays on the scalar path: targeted sends go through
+        # the scheduler (consuming the rng exactly as the oracle does) and
+        # surface at collection as stragglers.
+        for message in sends:
+            self.network.send(message)
+        refs = [plane.register(message.payload) for message in broadcasts]
+        batch = plane.broadcast_phase(broadcasts, refs)
+        pre_prepares = plane.collect_phase(
+            batch, MessageKind.CONSENSUS_PROPOSAL, round_index, timeout
+        )
+        # Prepare phase: honest nodes vote for the digest they received from
+        # the primary, provided the proposal is valid — one batched phase.
+        accepted: dict[int, int] = {}  # node index -> accepted payload ref
+        vote_ref_of: dict[int, int] = {}  # node index -> its vote-payload ref
+        prepare_templates: list[Message] = []
+        prepare_refs: list[int] = []
+        for j, node_id in enumerate(self.node_ids):
+            if self.behavior_of(node_id).is_faulty:
+                continue
+            matching = [
+                (message, ref)
+                for message, ref in pre_prepares.messages_for(j)
+                if message.sender == primary and message.metadata.get("view") == view
+            ]
+            if len(matching) != 1:
+                continue  # silent or equivocating primary: no prepare vote
+            _, ref = matching[0]
+            if not self._ref_valid(ref, plane, validity):
+                continue
+            accepted[j] = ref
+            vote_payload = self._vote_payload_for(ref, plane)
+            vote_ref_of[j] = plane.register(vote_payload)
+            prepare_templates.append(
+                Message(
+                    sender=node_id,
+                    recipient="*",
+                    kind=MessageKind.CONSENSUS_PREPARE,
+                    round_index=round_index,
+                    payload=vote_payload,
+                    metadata={"view": view},
+                )
+            )
+            prepare_refs.append(vote_ref_of[j])
+        prepare_batch = plane.broadcast_phase(prepare_templates, prepare_refs)
+        prepares = plane.collect_phase(
+            prepare_batch, MessageKind.CONSENSUS_PREPARE, round_index, timeout
+        )
+        # Commit phase: a column sum per distinct digest replaces the
+        # per-node supporter-set scan.
+        prepare_counts = self._quorum_counts(prepares, view, vote_ref_of, plane)
+        commit_templates: list[Message] = []
+        commit_refs: list[int] = []
+        for j, node_id in enumerate(self.node_ids):
+            if self.behavior_of(node_id).is_faulty:
+                continue
+            if j not in accepted:
+                continue
+            if int(prepare_counts[vote_ref_of[j]][j]) >= self.quorum:
+                commit_templates.append(
+                    Message(
+                        sender=node_id,
+                        recipient="*",
+                        kind=MessageKind.CONSENSUS_COMMIT,
+                        round_index=round_index,
+                        payload=plane.payload(vote_ref_of[j]),
+                        metadata={"view": view},
+                    )
+                )
+                commit_refs.append(vote_ref_of[j])
+        commit_batch = plane.broadcast_phase(commit_templates, commit_refs)
+        commits = plane.collect_phase(
+            commit_batch, MessageKind.CONSENSUS_COMMIT, round_index, timeout
+        )
+        commit_counts = self._quorum_counts(commits, view, vote_ref_of, plane)
+        decisions: dict[str, ConsensusDecision] = {}
+        decisions_by_ref: dict[int, ConsensusDecision] = {}
+        for j, node_id in enumerate(self.node_ids):
+            if self.behavior_of(node_id).is_faulty:
+                continue
+            if j not in accepted:
+                continue
+            if int(commit_counts[vote_ref_of[j]][j]) >= self.quorum:
+                ref = accepted[j]
+                decision = decisions_by_ref.get(ref)
+                if decision is None:
+                    decision = self._decision_from_payload(
+                        round_index, view, primary, plane.payload(ref)
+                    )
+                    decisions_by_ref[ref] = decision
+                decisions[node_id] = decision
+        if not decisions:
+            return {}
+        tuples = {d.command_tuple() for d in decisions.values()}
+        if len(tuples) != 1:
+            raise ConsensusError("PBFT safety violation: conflicting decisions")
+        # A view only "succeeds" for the round when every honest node decided;
+        # otherwise the stragglers would need the (simplified-away) checkpoint
+        # sync, so we conservatively run another view for everyone.
+        if set(decisions) != set(self.honest_nodes()):
+            return {}
+        return decisions
+
+    def _quorum_counts(
+        self, phase_view, view: int, vote_ref_of: dict[int, int], plane
+    ) -> dict[int, "np.ndarray"]:
+        """Per-node supporter counts for each distinct vote-payload ref."""
+        counts: dict[int, np.ndarray] = {}
+        for vote_ref in set(vote_ref_of.values()):
+            digest = plane.payload(vote_ref)["digest"]
+            counts[vote_ref] = phase_view.supporter_counts(
+                view,
+                vote_ref,
+                lambda m, d=digest: (
+                    m.metadata.get("view") == view and m.payload.get("digest") == d
+                ),
+            )
+        return counts
+
+    def _vote_payload_for(self, ref: int, plane) -> dict:
+        """The interned ``{"digest": ...}`` vote payload for a proposal ref.
+
+        One shared dict per digest means the signing normalisation and the
+        batch payload-ref column collapse across all voters; the oracle
+        builds a fresh but content-equal dict per vote, so signatures match.
+        """
+        digest_cache = plane.scratch.setdefault("pbft_digest_by_ref", {})
+        digest = digest_cache.get(ref)
+        if digest is None:
+            digest = self._digest(plane.payload(ref))
+            digest_cache[ref] = digest
+        vote_cache = plane.scratch.setdefault("pbft_vote_payloads", {})
+        vote_payload = vote_cache.get(digest)
+        if vote_payload is None:
+            vote_payload = {"digest": digest}
+            vote_cache[digest] = vote_payload
+        return vote_payload
+
+    def _ref_valid(self, ref: int, plane, validity: dict[int, bool]) -> bool:
+        cached = validity.get(ref)
+        if cached is None:
+            cached = self._is_valid_proposal(plane.payload(ref))
+            validity[ref] = cached
+        return cached
 
     # -- internals ----------------------------------------------------------------------
     def _attempt_view(
@@ -225,6 +413,21 @@ class PBFTConsensus(ConsensusProtocol):
     def _primary_pre_prepare(
         self, round_index: int, view: int, primary: str, payload: dict
     ) -> None:
+        broadcasts, sends = self._pre_prepare_actions(round_index, view, primary, payload)
+        for message in sends:
+            self.network.send(message)
+        for message in broadcasts:
+            self.network.broadcast(message, recipients=self.node_ids)
+
+    def _pre_prepare_actions(
+        self, round_index: int, view: int, primary: str, payload: dict
+    ) -> tuple[list[Message], list[Message]]:
+        """The primary's pre-prepare step as ``(broadcasts, targeted sends)``.
+
+        Shared by the event-driven oracle and the vectorised plane so the
+        two paths dispatch identical messages by construction; a behavior
+        either broadcasts or equivocates via sends, never both.
+        """
         behavior = self.behavior_of(primary)
         if not behavior.is_faulty:
             message = Message(
@@ -235,27 +438,25 @@ class PBFTConsensus(ConsensusProtocol):
                 payload=payload,
                 metadata={"view": view},
             )
-            self.network.broadcast(message, recipients=self.node_ids)
-            return
+            return [message], []
         if isinstance(behavior, (SilentBehavior, DelayingBehavior)):
-            return
+            return [], []
         if isinstance(behavior, EquivocatingBehavior):
             alt = dict(payload)
             alt["commands"] = [[int(v) + 1 for v in row] for row in payload["commands"]]
             midpoint = self.num_nodes // 2
-            for index, node_id in enumerate(self.node_ids):
-                choice = payload if index < midpoint else alt
-                self.network.send(
-                    Message(
-                        sender=primary,
-                        recipient=node_id,
-                        kind=MessageKind.CONSENSUS_PROPOSAL,
-                        round_index=round_index,
-                        payload=choice,
-                        metadata={"view": view},
-                    )
+            sends = [
+                Message(
+                    sender=primary,
+                    recipient=node_id,
+                    kind=MessageKind.CONSENSUS_PROPOSAL,
+                    round_index=round_index,
+                    payload=payload if index < midpoint else alt,
+                    metadata={"view": view},
                 )
-            return
+                for index, node_id in enumerate(self.node_ids)
+            ]
+            return [], sends
         bogus = dict(payload)
         bogus["clients"] = ["client:forged"] * len(payload["clients"])
         message = Message(
@@ -266,7 +467,7 @@ class PBFTConsensus(ConsensusProtocol):
             payload=bogus,
             metadata={"view": view},
         )
-        self.network.broadcast(message, recipients=self.node_ids)
+        return [message], []
 
     def _is_valid_proposal(self, payload: dict) -> bool:
         commands = payload.get("commands")

@@ -55,6 +55,7 @@ class CSMProtocol(RoundProtocol):
         rng: np.random.Generator | None = None,
         network: SimulatedNetwork | None = None,
         decode_at_every_node: bool = False,
+        vectorised_consensus: bool = True,
     ) -> None:
         self.config = config
         self.machine = machine
@@ -80,6 +81,12 @@ class CSMProtocol(RoundProtocol):
             self.consensus = AuthenticatedBroadcastConsensus(
                 self.network, self.node_ids, self.pool, self.behaviors, self.rng
             )
+        # ``vectorised_consensus`` selects the message-plane fast path for
+        # batched/pipelined round drivers (decisions, rng stream, counters
+        # and delivery log are bit-identical either way); False pins the
+        # event-driven oracle, which then advances
+        # ``consensus_fast_path_disabled`` for observability.
+        self.consensus.use_vectorised_plane = bool(vectorised_consensus)
         # The execution phase draws its randomness (Byzantine result
         # transforms) from a dedicated stream seeded off the protocol rng.
         # The consensus/network layer keeps consuming ``self.rng`` directly,

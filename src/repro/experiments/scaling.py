@@ -25,7 +25,7 @@ from repro.analysis.metrics import csm_supported_machines
 from repro.core.config import CSMConfig
 from repro.core.execution import CodedExecutionEngine
 from repro.core.protocol import CSMProtocol
-from repro.experiments.report import format_table
+from repro.experiments.report import consensus_diagnostics, format_table
 from repro.gf.prime_field import PrimeField
 from repro.intermix.delegation import DelegatedCodingService
 from repro.lcc.scheme import LagrangeScheme
@@ -244,7 +244,9 @@ def pipelined_rows(
     return rows
 
 
-def _build_protocol(field, machine, num_nodes, fault_fraction, seed):
+def _build_protocol(
+    field, machine, num_nodes, fault_fraction, seed, vectorised_consensus=True
+):
     """One CSMProtocol sized for the sweep (faults on the highest node ids)."""
     num_faults = int(fault_fraction * num_nodes)
     k = max(csm_supported_machines(num_nodes, fault_fraction, machine.degree) // 2, 1)
@@ -260,7 +262,13 @@ def _build_protocol(field, machine, num_nodes, fault_fraction, seed):
         f"node-{num_nodes - 1 - i}": RandomGarbageBehavior()
         for i in range(num_faults)
     }
-    return CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(seed))
+    return CSMProtocol(
+        config,
+        machine,
+        behaviors,
+        rng=np.random.default_rng(seed),
+        vectorised_consensus=vectorised_consensus,
+    )
 
 
 def protocol_rows(
@@ -271,6 +279,7 @@ def protocol_rows(
     batched_protocol: bool = True,
     service: bool = False,
     pipelined: bool = False,
+    vectorised_consensus: bool = True,
 ) -> list[dict]:
     """End-to-end CSMProtocol cost per network size: consensus + execution.
 
@@ -285,8 +294,10 @@ def protocol_rows(
     scheduler drain it into batches (the production client path).
     ``pipelined=True`` executes through the speculative pipeline —
     :meth:`CSMProtocol.run_rounds_pipelined` directly, or
-    ``CSMService(pipeline=True)`` when combined with ``service``.  The
-    recorded round histories are bit-identical across all modes.
+    ``CSMService(pipeline=True)`` when combined with ``service``.
+    ``vectorised_consensus=False`` pins the event-driven consensus oracle
+    instead of the message-plane fast path.  The recorded round histories
+    are bit-identical across all modes.
     """
     from repro.service import CSMService
 
@@ -295,7 +306,9 @@ def protocol_rows(
     rng = np.random.default_rng(seed)
     rows = []
     for num_nodes in network_sizes:
-        protocol = _build_protocol(field, machine, num_nodes, fault_fraction, seed)
+        protocol = _build_protocol(
+            field, machine, num_nodes, fault_fraction, seed, vectorised_consensus
+        )
         k = protocol.num_machines
         batches = [
             rng.integers(1, 1000, size=(k, machine.command_dim))
@@ -333,8 +346,88 @@ def protocol_rows(
                 "failed_rounds": protocol.failed_rounds,
                 "messages_sent": protocol.network.messages_sent,
                 "wall_seconds": elapsed,
+                **consensus_diagnostics(protocol),
             }
         )
+    return rows
+
+
+def consensus_rows(
+    network_sizes: tuple[int, ...] = (8, 16, 24, 32),
+    fault_fraction: float = 0.2,
+    seed: int = 0,
+    rounds: int = 8,
+) -> list[dict]:
+    """Consensus-phase micro-benchmark: decisions per second, plane vs oracle.
+
+    Each network size runs the *same* command stream through two
+    identically-seeded protocols — one with the vectorised message plane,
+    one pinned to the event-driven oracle — and times **only** the
+    consensus phase (:meth:`ConsensusProtocol.decide_rounds` with lazy
+    per-round submission), then the execution phase alone for the decided
+    command matrix.  Rows report decided rounds and agreed commands per
+    wall-clock second, the plane/oracle speedup denominator
+    (``wall_seconds``) and ``consensus_over_execution`` — how many times
+    more wall-clock the consensus phase costs than coded execution for the
+    same rounds, the gap the message plane exists to close.
+
+    ``fast_path_disabled`` in each row confirms which path actually ran:
+    ``0`` for the vectorised rows, ``rounds`` for the oracle rows.
+    """
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    rows = []
+    for num_nodes in network_sizes:
+        for plane in (True, False):
+            protocol = _build_protocol(
+                field, machine, num_nodes, fault_fraction, seed, plane
+            )
+            k = protocol.num_machines
+            command_rng = np.random.default_rng(seed)
+            batches = [
+                command_rng.integers(1, 1000, size=(k, machine.command_dim))
+                for _ in range(rounds)
+            ]
+            client_rounds = [
+                [f"client:{i}" for i in range(k)] for _ in range(rounds)
+            ]
+            start = time.perf_counter()
+            decisions = protocol.consensus.decide_rounds(
+                0,
+                rounds,
+                prepare_round=lambda offset: protocol._submit_round(
+                    batches[offset], client_rounds[offset]
+                ),
+            )
+            consensus_elapsed = time.perf_counter() - start
+            sample = protocol._select_decision(decisions[0])
+            commands_matrix = np.stack(
+                [protocol._select_decision(d).commands for d in decisions]
+            )
+            start = time.perf_counter()
+            protocol.engine.execute_rounds(commands_matrix)
+            execution_elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "N": num_nodes,
+                    "K": k,
+                    "rounds": rounds,
+                    "decisions_per_sec": rounds / consensus_elapsed
+                    if consensus_elapsed
+                    else 0.0,
+                    "commands_per_sec": rounds * k / consensus_elapsed
+                    if consensus_elapsed
+                    else 0.0,
+                    "consensus_over_execution": consensus_elapsed
+                    / execution_elapsed
+                    if execution_elapsed
+                    else float("inf"),
+                    "wall_seconds": consensus_elapsed,
+                    "execution_seconds": execution_elapsed,
+                    "first_round_view": sample.view,
+                    **consensus_diagnostics(protocol),
+                }
+            )
     return rows
 
 
@@ -403,7 +496,9 @@ def service_rows(
     return rows
 
 
-def _build_shard_backends(field, machine, num_nodes, fault_fraction, seed, shards):
+def _build_shard_backends(
+    field, machine, num_nodes, fault_fraction, seed, shards, vectorised_consensus=True
+):
     """One CSMProtocol per shard over a balanced partition of the nodes.
 
     Sharding the *consensus* means sharding the node set too: shard ``s``
@@ -416,7 +511,9 @@ def _build_shard_backends(field, machine, num_nodes, fault_fraction, seed, shard
 
     sizes = partition_machines(num_nodes, shards)
     return [
-        _build_protocol(field, machine, size, fault_fraction, seed + s)
+        _build_protocol(
+            field, machine, size, fault_fraction, seed + s, vectorised_consensus
+        )
         for s, size in enumerate(sizes)
     ]
 
@@ -428,6 +525,7 @@ def sharded_rows(
     rounds: int = 4,
     shards: int = 2,
     min_fill: int = 1,
+    vectorised_consensus: bool = True,
 ) -> list[dict]:
     """Sharded versus unsharded serving at matched node budgets.
 
@@ -440,6 +538,11 @@ def sharded_rows(
     the executed-command rate (commands per wall-clock second), the
     paper-metric throughput (commands per unit per-node field operation)
     and the failure counts, one row per ``(N, mode)``.
+
+    ``vectorised_consensus`` applies to both deployments; pinning the
+    event-driven oracle (``False``) isolates the sharding axis from the
+    message-plane speedup, which compresses the consensus share of the
+    round enough to change which deployment wins at a given ``N``.
     """
     from repro.service import CSMService, ShardedCSMService, TicketState
 
@@ -448,7 +551,7 @@ def sharded_rows(
     rows = []
     for num_nodes in network_sizes:
         unsharded_backend = _build_protocol(
-            field, machine, num_nodes, fault_fraction, seed
+            field, machine, num_nodes, fault_fraction, seed, vectorised_consensus
         )
         unsharded = CSMService(
             unsharded_backend,
@@ -456,7 +559,8 @@ def sharded_rows(
             min_fill=min(min_fill, unsharded_backend.num_machines),
         )
         shard_backends = _build_shard_backends(
-            field, machine, num_nodes, fault_fraction, seed, shards
+            field, machine, num_nodes, fault_fraction, seed, shards,
+            vectorised_consensus,
         )
         sharded = ShardedCSMService(
             shard_backends,
@@ -500,6 +604,7 @@ def sharded_rows(
                     "throughput": reporting.measured_throughput(),
                     "failed_rounds": reporting.failed_rounds,
                     "wall_seconds": elapsed,
+                    "fast_path_disabled": service.consensus_fast_path_disabled,
                 }
             )
     return rows
@@ -513,7 +618,9 @@ def run(**kwargs) -> dict:
             "network_sizes", "fault_fraction", "seed", "rounds", "batched")}),
         "protocol": protocol_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds", "batched_protocol",
-            "service", "pipelined")}),
+            "service", "pipelined", "vectorised_consensus")}),
+        "consensus": consensus_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "rounds")}),
         "pipelined": pipelined_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds",
             "verify_window")}),
@@ -522,7 +629,7 @@ def run(**kwargs) -> dict:
             "fill_probability", "min_fill")}),
         "sharded": sharded_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds", "shards",
-            "min_fill")}),
+            "min_fill", "vectorised_consensus")}),
     }
 
 
@@ -536,6 +643,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("End-to-end protocol (consensus + coded execution, batched path)")
     print(format_table(result["protocol"]))
+    print()
+    print("Consensus phase only: vectorised message plane vs event-driven oracle")
+    print(format_table(result["consensus"]))
     print()
     print("Speculative pipeline vs batched decode (execution phase, fault-free)")
     print(format_table(result["pipelined"]))

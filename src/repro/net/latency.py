@@ -30,6 +30,24 @@ class DelayModel(ABC):
     def sample_delay(self, send_time: float, rng: np.random.Generator) -> float:
         """Delay (in simulated time units) for a message sent at ``send_time``."""
 
+    def sample_delays(
+        self, send_time: float, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """``count`` delays for messages all sent at ``send_time``.
+
+        The contract that makes the vectorised message plane possible:
+        the returned array — and the generator state left behind — must be
+        bit-identical to ``count`` sequential :meth:`sample_delay` calls.
+        The default loops; models whose distribution admits an exact
+        vectorised draw (numpy's ``Generator.uniform(size=n)`` consumes the
+        stream identically to ``n`` scalar draws) override it.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=float)
+        return np.array(
+            [self.sample_delay(send_time, rng) for _ in range(count)], dtype=float
+        )
+
     @property
     @abstractmethod
     def synchronous_bound(self) -> float:
@@ -63,6 +81,13 @@ class SynchronousDelay(DelayModel):
 
     def sample_delay(self, send_time: float, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.min_delay, self.max_delay))
+
+    def sample_delays(
+        self, send_time: float, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        if count <= 0:
+            return np.empty(0, dtype=float)
+        return rng.uniform(self.min_delay, self.max_delay, size=count)
 
     @property
     def synchronous_bound(self) -> float:
@@ -101,6 +126,20 @@ class PartiallySynchronousDelay(DelayModel):
         # so a receiver cannot distinguish slow honest senders from silent
         # Byzantine ones.
         return base + extra
+
+    def sample_delays(
+        self, send_time: float, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        if count <= 0:
+            return np.empty(0, dtype=float)
+        if send_time >= self.gst:
+            return rng.uniform(self.min_delay, self.max_delay, size=count)
+        # Pre-GST the scalar path interleaves one uniform and one exponential
+        # draw per message; a two-pass vectorised draw would consume the
+        # stream in a different order, so bit-identity forces the loop here.
+        return np.array(
+            [self.sample_delay(send_time, rng) for _ in range(count)], dtype=float
+        )
 
     @property
     def synchronous_bound(self) -> float:

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
+import numpy as np
+
 
 class MessageKind(str, Enum):
     """Tags identifying the protocol phase a message belongs to."""
@@ -91,6 +93,63 @@ class Message:
             signature=self.signature,
             metadata=dict(self.metadata),
         )
+
+
+@dataclass
+class PhaseBatch:
+    """Struct-of-arrays view of one consensus phase's broadcasts.
+
+    One :class:`Message` template per broadcast *action* (there are at most
+    ``N`` actions per phase — one per sender) plus columns over the
+    ``A x N`` action-by-recipient copy grid.  The vectorised message plane
+    tallies quorums and visibility directly on these arrays instead of
+    materialising ``A * N`` message copies and draining mailboxes.
+
+    Attributes
+    ----------
+    kind / round_index / send_time:
+        Phase identity: every action in a batch shares them.
+    templates:
+        The signed broadcast messages (recipient ``"*"``), in dispatch order.
+    sender_index:
+        ``(A,)`` — index of each action's sender in the plane's node order.
+    views:
+        ``(A,)`` — the consensus view each action was sent in.
+    payload_ref:
+        ``(A,)`` — index of each action's payload in the plane's payload
+        table (the batch analogue of the digest column).
+    valid:
+        ``(A,)`` bool — whether the action's signature verified; an invalid
+        broadcast still reaches the sender's own mailbox but no other node.
+    delivery_time:
+        ``(A, N)`` — per-copy delivery times; the sender's own copy is
+        delivered at ``send_time`` without consuming an rng draw.
+    """
+
+    kind: "MessageKind"
+    round_index: int
+    send_time: float
+    templates: list["Message"]
+    sender_index: np.ndarray
+    views: np.ndarray
+    payload_ref: np.ndarray
+    valid: np.ndarray
+    delivery_time: np.ndarray
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.templates)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.delivery_time.shape[1]) if self.num_actions else 0
+
+    def self_mask(self) -> np.ndarray:
+        """``(A, N)`` bool — True at each action's own-sender copy."""
+        mask = np.zeros(self.delivery_time.shape, dtype=bool)
+        if self.num_actions:
+            mask[np.arange(self.num_actions), self.sender_index] = True
+        return mask
 
 
 def _normalise(value: Any) -> Any:

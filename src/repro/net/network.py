@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.net.latency import DelayModel, SynchronousDelay
-from repro.net.message import Message, MessageKind
+from repro.net.message import Message, MessageKind, PhaseBatch
 from repro.net.signatures import KeyRegistry
 from repro.net.simulator import EventScheduler
 
@@ -36,6 +36,94 @@ class DeliveryRecord:
     send_time: float
     delivery_time: float
     delivered: bool = True
+
+
+@dataclass
+class _PhaseLogEntry:
+    """A whole :class:`PhaseBatch` standing in for its per-copy records.
+
+    The vectorised plane appends one of these per phase instead of
+    ``A * (N - 1)`` :class:`DeliveryRecord` objects; :meth:`materialise`
+    expands it — in exactly the order ``deliver_all`` would have appended —
+    when somebody actually reads the log.
+    """
+
+    batch: PhaseBatch
+    node_ids: list[str]
+
+    @property
+    def count(self) -> int:
+        return self.batch.num_actions * max(len(self.node_ids) - 1, 0)
+
+    def materialise(self) -> list[DeliveryRecord]:
+        batch = self.batch
+        out: list[DeliveryRecord] = []
+        for a, message in enumerate(batch.templates):
+            sender = int(batch.sender_index[a])
+            delivered = bool(batch.valid[a])
+            times = batch.delivery_time[a]
+            for j, node_id in enumerate(self.node_ids):
+                if j == sender:
+                    continue  # own copy never hits the log (as in broadcast)
+                out.append(
+                    DeliveryRecord(
+                        message.with_recipient(node_id),
+                        batch.send_time,
+                        float(times[j]),
+                        delivered=delivered,
+                    )
+                )
+        return out
+
+
+class DeliveryLog(Sequence):
+    """Append-only delivery journal that holds phase batches compactly.
+
+    Scalar paths append :class:`DeliveryRecord` objects as before; the
+    vectorised message plane appends whole phases, which are expanded to
+    records lazily the first time the log is read.  Interleaving is
+    preserved: entries expand in append order, so the flat view is
+    bit-identical (field for field) to the record sequence the event-driven
+    and bulk paths would have produced.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[DeliveryRecord | _PhaseLogEntry] = []
+        self._flat: list[DeliveryRecord] | None = []
+
+    def append(self, record: DeliveryRecord) -> None:
+        self._entries.append(record)
+        if self._flat is not None:
+            self._flat.append(record)
+
+    def append_phase(self, entry: _PhaseLogEntry) -> None:
+        self._entries.append(entry)
+        self._flat = None
+
+    def _materialise(self) -> list[DeliveryRecord]:
+        if self._flat is None:
+            flat: list[DeliveryRecord] = []
+            for entry in self._entries:
+                if isinstance(entry, DeliveryRecord):
+                    flat.append(entry)
+                else:
+                    flat.extend(entry.materialise())
+            self._flat = flat
+        return self._flat
+
+    def __len__(self) -> int:
+        if self._flat is not None:
+            return len(self._flat)
+        return sum(
+            1 if isinstance(entry, DeliveryRecord) else entry.count
+            for entry in self._entries
+        )
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return iter(self._materialise())
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
 
 
 @dataclass
@@ -72,6 +160,10 @@ class _Mailbox:
 class SimulatedNetwork:
     """Fully connected message-passing network with signed messages."""
 
+    #: The vectorised message plane (:class:`MessagePlane`) can run on top of
+    #: this network: phase dispatch and collection are available.
+    supports_phase_batches = True
+
     def __init__(
         self,
         delay_model: DelayModel | None = None,
@@ -83,7 +175,7 @@ class SimulatedNetwork:
         self.keys = key_registry or KeyRegistry()
         self.scheduler = EventScheduler()
         self._mailboxes: dict[str, _Mailbox] = {}
-        self.delivery_log: list[DeliveryRecord] = []
+        self.delivery_log: DeliveryLog = DeliveryLog()
         self.rejected_signatures = 0
         self.messages_sent = 0
         self._bulk_delivery = False
@@ -268,3 +360,236 @@ class SimulatedNetwork:
             "simulated_time": self.scheduler.now,
             "processed_events": self.scheduler.processed_events,
         }
+
+
+class PhaseView:
+    """What one consensus phase's collection window made visible.
+
+    Pairs the phase's :class:`~repro.net.message.PhaseBatch` (with a per-copy
+    visibility mask) with the *stragglers* drained from the real mailboxes —
+    late copies of earlier phases and targeted (equivocation) sends, which
+    still flow through the event scheduler.  Protocols read it either as
+    per-node message streams (:meth:`messages_for`) or as vectorised quorum
+    tallies (:meth:`supporter_counts`).
+    """
+
+    def __init__(
+        self,
+        plane: "MessagePlane",
+        batch: PhaseBatch | None,
+        visible: np.ndarray | None,
+        stragglers: list[list[Message]],
+    ) -> None:
+        self.plane = plane
+        self.batch = batch
+        self.visible = visible  # (A, N) bool, aligned with batch
+        self.stragglers = stragglers  # one list per node, in node order
+        self.has_stragglers = any(stragglers)
+
+    def messages_for(self, node_index: int) -> Iterator[tuple[Message, int]]:
+        """Yield ``(message, payload_ref)`` visible at ``node_index``.
+
+        Batch copies come first in action (dispatch) order, then the node's
+        drained stragglers in mailbox order.  Within every filter the
+        protocols apply (sender / view / leader), this matches the order the
+        event-driven collect would have produced.
+        """
+        if self.batch is not None and self.visible is not None:
+            templates = self.batch.templates
+            refs = self.batch.payload_ref
+            for a in np.nonzero(self.visible[:, node_index])[0]:
+                yield templates[a], int(refs[a])
+        for message in self.stragglers[node_index]:
+            yield message, self.plane.register(message.payload)
+
+    def supporter_counts(
+        self, view: int, payload_ref: int, straggler_match
+    ) -> np.ndarray:
+        """Distinct supporting senders per node for ``(view, payload_ref)``.
+
+        The batch part is a pure column sum (every batch action has a
+        distinct sender within a phase); when stragglers exist the affected
+        nodes fall back to exact sender-set semantics, so the counts equal
+        the oracle's ``len({m.sender for m in received if ...})``.
+        """
+        num_nodes = len(self.plane.node_ids)
+        action_mask = None
+        if self.batch is not None and self.batch.num_actions:
+            action_mask = (self.batch.views == view) & (
+                self.batch.payload_ref == payload_ref
+            )
+            counts = self.visible[action_mask].sum(axis=0).astype(np.int64)
+        else:
+            counts = np.zeros(num_nodes, dtype=np.int64)
+        if not self.has_stragglers:
+            return counts
+        for j, messages in enumerate(self.stragglers):
+            if not messages:
+                continue
+            extra = {m.sender for m in messages if straggler_match(m)}
+            if not extra:
+                continue
+            base: set[str] = set()
+            if action_mask is not None:
+                for a in np.nonzero(action_mask & self.visible[:, j])[0]:
+                    base.add(self.batch.templates[a].sender)
+            counts[j] = len(base | extra)
+        return counts
+
+
+class MessagePlane:
+    """Vectorised dispatch/collect surface over a :class:`SimulatedNetwork`.
+
+    One plane serves one batch of consensus rounds: it owns the payload
+    table (payload object -> small integer ref) and the signing
+    normalisation cache that let a whole phase — up to ``N`` broadcasts,
+    ``N x N`` copies — be signed, verified, delayed and tallied as columns
+    instead of objects.  Everything observable (rng stream, counters,
+    delivery log, mailbox residue, simulated time) is bit-identical to
+    routing the same broadcasts through :meth:`SimulatedNetwork.deliver_all`
+    and :meth:`SimulatedNetwork.collect_all`.
+
+    Targeted sends (the equivocation path) do not go through the plane:
+    Byzantine senders keep calling :meth:`SimulatedNetwork.send`, whose
+    scheduled deliveries surface here as collection *stragglers*.
+    """
+
+    def __init__(self, network: SimulatedNetwork, node_ids: list[str]) -> None:
+        self.network = network
+        self.node_ids = list(node_ids)
+        self.node_index = {node_id: j for j, node_id in enumerate(self.node_ids)}
+        self.payloads: list[Any] = []
+        self._ref_by_id: dict[int, int] = {}
+        self._content_keys: dict[int, Any] = {}
+        # id(payload) -> normalised signing view; shared with KeyRegistry
+        # batch operations.  Safe because the payload table above keeps every
+        # cached payload object alive for the plane's lifetime.
+        self.norm_cache: dict[int, Any] = {}
+        # Free-form per-plane storage for protocol-level memoisation (interned
+        # vote payloads, digests per ref, ...).  Content-derived values only:
+        # the plane outlives a single round, so anything depending on mutable
+        # protocol state (e.g. pool-backed validity) must not live here.
+        self.scratch: dict[Any, Any] = {}
+
+    # -- payload table ------------------------------------------------------------
+    def register(self, payload: Any) -> int:
+        """Intern ``payload`` (by identity) and return its table ref."""
+        ref = self._ref_by_id.get(id(payload))
+        if ref is None:
+            ref = len(self.payloads)
+            self.payloads.append(payload)
+            self._ref_by_id[id(payload)] = ref
+        return ref
+
+    def payload(self, ref: int) -> Any:
+        return self.payloads[ref]
+
+    def content_key(self, ref: int, key_fn) -> Any:
+        """``key_fn(payload)`` memoised per ref (payloads are immutable)."""
+        key = self._content_keys.get(ref)
+        if key is None:
+            key = key_fn(self.payloads[ref])
+            self._content_keys[ref] = key
+        return key
+
+    # -- phase dispatch -----------------------------------------------------------
+    def broadcast_phase(
+        self, templates: list[Message], payload_refs: list[int]
+    ) -> PhaseBatch | None:
+        """Sign, verify and dispatch one phase of broadcasts as a batch.
+
+        Equivalent to calling ``deliver_all(template, self.node_ids)`` for
+        each template in order: same rng draws (one per non-self copy, in
+        action-major recipient order), same ``messages_sent`` /
+        ``rejected_signatures`` accounting, same delivery-log records
+        (appended compactly), but no per-copy message objects or mailbox
+        pushes — in-window copies are tallied straight off the batch arrays
+        at collection.
+        """
+        if not templates:
+            return None
+        net = self.network
+        net.keys.sign_batch(templates, self.norm_cache)
+        valid = np.array(net.keys.verify_batch(templates, self.norm_cache), dtype=bool)
+        now = net.scheduler.now
+        num_actions = len(templates)
+        num_nodes = len(self.node_ids)
+        sender_index = np.fromiter(
+            (self.node_index[m.sender] for m in templates),
+            dtype=np.int64,
+            count=num_actions,
+        )
+        views = np.fromiter(
+            (int(m.metadata.get("view", -1)) for m in templates),
+            dtype=np.int64,
+            count=num_actions,
+        )
+        delivery_time = np.full((num_actions, num_nodes), now, dtype=float)
+        self_mask = np.zeros((num_actions, num_nodes), dtype=bool)
+        self_mask[np.arange(num_actions), sender_index] = True
+        draws = net.delay_model.sample_delays(now, net.rng, num_actions * (num_nodes - 1))
+        # Row-major boolean assignment fills exactly in action-major,
+        # recipient-ascending order skipping the sender — the draw order of
+        # the sequential per-copy loop.
+        delivery_time[~self_mask] = now + draws
+        batch = PhaseBatch(
+            kind=templates[0].kind,
+            round_index=int(templates[0].round_index),
+            send_time=now,
+            templates=templates,
+            sender_index=sender_index,
+            views=views,
+            payload_ref=np.asarray(payload_refs, dtype=np.int64),
+            valid=valid,
+            delivery_time=delivery_time,
+        )
+        net.messages_sent += num_actions * (num_nodes - 1)
+        invalid = int(num_actions - int(valid.sum()))
+        if invalid:
+            net.rejected_signatures += invalid * (num_nodes - 1)
+        net.delivery_log.append_phase(_PhaseLogEntry(batch, self.node_ids))
+        return batch
+
+    # -- phase collection ---------------------------------------------------------
+    def collect_phase(
+        self,
+        batch: PhaseBatch | None,
+        kind: MessageKind,
+        round_index: int,
+        timeout: float | None = None,
+    ) -> PhaseView:
+        """Advance one collection window and expose what each node received.
+
+        In-window batch copies become a visibility mask (no mailbox round
+        trip); copies landing *after* the deadline are pushed into the real
+        mailboxes — before the scheduler runs, exactly where ``deliver_all``
+        would have put them — so later windows drain them as usual.  The
+        node's own copy is visible even for an invalid broadcast, matching
+        the unconditional self-push of the scalar paths.
+        """
+        net = self.network
+        window = (
+            net.delay_model.synchronous_bound if timeout is None else float(timeout)
+        )
+        deadline = net.scheduler.now + window
+        visible = None
+        if batch is not None and batch.num_actions:
+            self_mask = batch.self_mask()
+            in_window = batch.delivery_time <= deadline
+            visible = (self_mask | batch.valid[:, None]) & in_window
+            late = batch.valid[:, None] & ~in_window & ~self_mask
+            if late.any():
+                for a, j in zip(*np.nonzero(late)):
+                    node_id = self.node_ids[j]
+                    net._mailboxes[node_id].push(
+                        float(batch.delivery_time[a, j]),
+                        batch.templates[a].with_recipient(node_id),
+                    )
+        net.scheduler.run_until(deadline)
+        stragglers: list[list[Message]] = []
+        for node_id in self.node_ids:
+            box = net._mailboxes[node_id]
+            stragglers.append(
+                box.drain(kind, round_index, deadline) if box.messages else []
+            )
+        return PhaseView(self, batch, visible, stragglers)

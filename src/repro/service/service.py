@@ -126,6 +126,12 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
     def num_machines(self) -> int:
         return self.backend.num_machines
 
+    @property
+    def consensus_fast_path_disabled(self) -> int:
+        """Backend rounds decided on a consensus slow path (see
+        :attr:`repro.rounds.RoundProtocol.consensus_fast_path_disabled`)."""
+        return self.backend.consensus_fast_path_disabled
+
     def connect(self, client_id: str) -> ClientSession:
         """Open (or re-join) the session for ``client_id``."""
         client_id = str(client_id)

@@ -325,6 +325,11 @@ class ShardedCSMService:
         return sum(1 for record in self._history if not record.correct)
 
     @property
+    def consensus_fast_path_disabled(self) -> int:
+        """Slow-path consensus rounds summed across every shard backend."""
+        return sum(shard.consensus_fast_path_disabled for shard in self.shards)
+
+    @property
     def delivered_outputs(self) -> dict[str, list[np.ndarray]]:
         """Per-client delivered outputs, in global round order.
 

@@ -130,3 +130,24 @@ class TestBatchedProtocolBitIdentity:
         assert sequential.failed_rounds == batched.failed_rounds
         # Operation counts (and hence throughput) intentionally differ: the
         # batched decode amortisation is the whole point of the pipeline.
+        # Message-plane parity: the batched path (vectorised consensus) must
+        # perform *the same sends* as the sequential oracle — identical
+        # message/signature counters and a field-identical delivery log.
+        assert sequential.network.messages_sent == batched.network.messages_sent
+        assert (
+            sequential.network.rejected_signatures
+            == batched.network.rejected_signatures
+        )
+        seq_log = sequential.network.delivery_log
+        bat_log = batched.network.delivery_log
+        assert len(seq_log) == len(bat_log)
+        for a, b in zip(seq_log, bat_log):
+            assert a.message.sender == b.message.sender
+            assert a.message.recipient == b.message.recipient
+            assert a.message.kind == b.message.kind
+            assert a.message.round_index == b.message.round_index
+            assert a.send_time == b.send_time
+            assert a.delivery_time == b.delivery_time
+            assert a.delivered == b.delivered
+        # The batched driver must have taken the vectorised plane throughout.
+        assert batched.consensus_fast_path_disabled == 0
