@@ -43,6 +43,13 @@ under Byzantine Faults* (Li et al., PODC 2019).  It provides:
     theoretic limits, and operation-count based measurement.
 ``repro.experiments``
     Executable regeneration of every table and figure in the paper.
+``repro.rng``
+    The single sanctioned construction site for random streams
+    (``default_stream``/``derived_stream``) — the anchor of replay
+    determinism.
+``repro.lint``
+    csm-lint, the AST-based determinism and protocol-invariant analyzer
+    (``python -m repro.lint src``).
 """
 
 from repro._version import __version__

@@ -10,6 +10,7 @@ unit per-node field operation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,18 @@ from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior, RandomGarbageBehavior
 from repro.replication.full import FullReplicationSMR
 from repro.replication.partial import PartialReplicationSMR
+from repro.rng import default_stream
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock read for throughput timing.
+
+    ``analysis/measurement.py`` is the DET002-allowlisted timing site: all
+    wall-clock reads in experiment code route through this helper so that
+    protocol/simulation code provably never touches the real clock (the
+    simulated ``network.now`` is the only time protocols may observe).
+    """
+    return time.perf_counter()
 
 
 @dataclass
@@ -147,7 +160,7 @@ def measure_full_replication(
     batched: bool = False,
 ) -> MeasuredPerformance:
     """Run full replication and measure correctness / ops / throughput."""
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     node_ids = [f"node-{i}" for i in range(num_nodes)]
     behaviors = _fault_behaviors(node_ids, num_faults, rng)
     engine = FullReplicationSMR(machine, num_machines, node_ids, behaviors, rng)
@@ -186,7 +199,7 @@ def measure_partial_replication(
     corrupts it"), and is what makes partial replication's security collapse
     to ``q / 2``.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     node_ids = [f"node-{i}" for i in range(num_nodes)]
     if concentrate_faults:
         if num_faults > num_nodes:
@@ -240,7 +253,7 @@ def measure_csm(
     encode/decode cost); the default keeps the scalar round-by-round path so
     existing experiments measure the textbook protocol.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     config_faults = num_faults
     try:
         config = CSMConfig(

@@ -41,6 +41,7 @@ from repro.net.byzantine import (
 )
 from repro.net.message import Message, MessageKind
 from repro.net.network import SimulatedNetwork
+from repro.rng import default_stream
 
 
 class AuthenticatedBroadcastConsensus(ConsensusProtocol):
@@ -74,7 +75,7 @@ class AuthenticatedBroadcastConsensus(ConsensusProtocol):
         self.node_ids = list(node_ids)
         self.pool = pool
         self.behaviors = dict(behaviors or {})
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         for node_id in self.node_ids:
             self.network.register(node_id)
 

@@ -41,6 +41,7 @@ from repro.net.byzantine import (
 )
 from repro.net.message import Message, MessageKind
 from repro.net.network import SimulatedNetwork
+from repro.rng import default_stream
 
 
 class PBFTConsensus(ConsensusProtocol):
@@ -62,7 +63,7 @@ class PBFTConsensus(ConsensusProtocol):
         self.node_ids = list(node_ids)
         self.pool = pool
         self.behaviors = dict(behaviors or {})
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.max_views = int(max_views)
         self.view_timeout = view_timeout
         for node_id in self.node_ids:
@@ -267,7 +268,7 @@ class PBFTConsensus(ConsensusProtocol):
     ) -> dict[int, "np.ndarray"]:
         """Per-node supporter counts for each distinct vote-payload ref."""
         counts: dict[int, np.ndarray] = {}
-        for vote_ref in set(vote_ref_of.values()):
+        for vote_ref in sorted(set(vote_ref_of.values())):
             digest = plane.payload(vote_ref)["digest"]
             counts[vote_ref] = phase_view.supporter_counts(
                 view,

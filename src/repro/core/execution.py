@@ -35,6 +35,7 @@ from repro.net.byzantine import ByzantineBehavior, HonestBehavior
 from repro.replication.base import BatchExecutionMixin, RoundResult
 from repro.core.config import CSMConfig
 from repro.core.node import CSMNode
+from repro.rng import default_stream
 
 
 @dataclass
@@ -80,7 +81,7 @@ class CodedExecutionEngine(BatchExecutionMixin):
         self.config = config
         self.machine = machine
         self.field = config.field
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.decode_at_every_node = bool(decode_at_every_node)
         self.node_ids = list(node_ids) if node_ids else [
             f"node-{i}" for i in range(config.num_nodes)

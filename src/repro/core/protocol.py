@@ -32,6 +32,7 @@ from repro.net.network import SimulatedNetwork
 from repro.rounds import ProtocolRound, RoundProtocol
 from repro.core.config import CSMConfig
 from repro.core.execution import CodedExecutionEngine
+from repro.rng import default_stream, derived_stream
 
 __all__ = ["CSMProtocol", "ProtocolRound"]
 
@@ -59,7 +60,7 @@ class CSMProtocol(RoundProtocol):
     ) -> None:
         self.config = config
         self.machine = machine
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.node_ids = [f"node-{i}" for i in range(config.num_nodes)]
         self.behaviors = dict(behaviors or {})
         if network is None:
@@ -97,7 +98,7 @@ class CSMProtocol(RoundProtocol):
         #: Verification-window depth run_rounds_pipelined uses when the call
         #: does not pass one explicitly (services configure it here).
         self.pipeline_verify_window = 16
-        engine_rng = np.random.default_rng(int(self.rng.integers(0, 2**63)))
+        engine_rng = derived_stream(self.rng)
         self.engine = CodedExecutionEngine(
             config,
             machine,

@@ -25,6 +25,7 @@ from repro.gf.prime_field import PrimeField
 from repro.intermix.committee import CommitteeElection, required_committee_size
 from repro.intermix.protocol import IntermixProtocol
 from repro.intermix.worker import WorkerStrategy
+from repro.rng import default_stream
 
 
 def soundness_rows(
@@ -42,7 +43,7 @@ def soundness_rows(
             WorkerStrategy.CORRUPT_RESULT,
             WorkerStrategy.CONSISTENT_LIAR,
         ):
-            rng = np.random.default_rng(seed)
+            rng = default_stream(seed)
             caught = 0
             accepted = 0
             max_queries = 0
@@ -83,7 +84,7 @@ def overhead_rows(
 ) -> list[dict]:
     field = PrimeField()
     node_ids = [f"node-{i}" for i in range(num_nodes)]
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     rows = []
     for length in vector_lengths:
         protocol = IntermixProtocol(field, node_ids, fault_fraction=0.25, rng=rng)

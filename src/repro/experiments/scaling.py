@@ -15,12 +15,10 @@ Two sweeps are produced:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.analysis.complexity import quasilinear_coding_cost
-from repro.analysis.measurement import measure_csm
+from repro.analysis.measurement import measure_csm, wall_clock
 from repro.analysis.metrics import csm_supported_machines
 from repro.core.config import CSMConfig
 from repro.core.execution import CodedExecutionEngine
@@ -31,6 +29,7 @@ from repro.intermix.delegation import DelegatedCodingService
 from repro.lcc.scheme import LagrangeScheme
 from repro.machine.library import bank_account_machine
 from repro.net.byzantine import RandomGarbageBehavior
+from repro.rng import default_stream
 
 
 def scaling_law_rows(
@@ -88,7 +87,7 @@ def throughput_rows(
     """
     field = PrimeField()
     machine = bank_account_machine(field, num_accounts=2)
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     rows = []
     for num_nodes in network_sizes:
         num_faults = int(fault_fraction * num_nodes)
@@ -100,7 +99,7 @@ def throughput_rows(
             degree=machine.degree,
             num_faults=num_faults,
         )
-        engine = CodedExecutionEngine(config, machine, rng=np.random.default_rng(seed))
+        engine = CodedExecutionEngine(config, machine, rng=default_stream(seed))
         commands = rng.integers(1, 100, size=(rounds, k, machine.command_dim))
         if batched:
             results = engine.execute_rounds(commands)
@@ -114,7 +113,7 @@ def throughput_rows(
             machine.degree,
             [f"node-{i}" for i in range(num_nodes)],
             fault_fraction=fault_fraction,
-            rng=np.random.default_rng(seed),
+            rng=default_stream(seed),
         )
         coded, encode_report = service.encode_vectors_verified(commands[0])
         non_worker_ops = encode_report.max_commoner_operations
@@ -178,7 +177,7 @@ def pipelined_rows(
         behaviors = {
             node_ids[i]: RandomGarbageBehavior() for i in range(num_faults)
         }
-        commands = np.random.default_rng(seed).integers(
+        commands = default_stream(seed).integers(
             1, 1000, size=(rounds, k, machine.command_dim)
         )
 
@@ -189,23 +188,23 @@ def pipelined_rows(
             # Warm the process-global matrix caches on a throwaway engine so
             # neither mode is billed the one-off construction cost.
             scratch = CodedExecutionEngine(
-                config, machine, node_ids, dict(behaviors), np.random.default_rng(seed)
+                config, machine, node_ids, dict(behaviors), default_stream(seed)
             )
             if mode == "pipelined":
                 scratch.execute_rounds_pipelined(warmup, verify_window=verify_window)
             else:
                 scratch.execute_rounds(warmup)
             engine = CodedExecutionEngine(
-                config, machine, node_ids, dict(behaviors), np.random.default_rng(seed)
+                config, machine, node_ids, dict(behaviors), default_stream(seed)
             )
-            start = time.perf_counter()
+            start = wall_clock()
             if mode == "pipelined":
                 results = engine.execute_rounds_pipelined(
                     commands, verify_window=verify_window
                 )
             else:
                 results = engine.execute_rounds(commands)
-            timings[mode] = time.perf_counter() - start
+            timings[mode] = wall_clock() - start
             per_mode[mode] = results
         identical = all(
             np.array_equal(a.outputs, b.outputs)
@@ -266,7 +265,7 @@ def _build_protocol(
         config,
         machine,
         behaviors,
-        rng=np.random.default_rng(seed),
+        rng=default_stream(seed),
         vectorised_consensus=vectorised_consensus,
     )
 
@@ -303,7 +302,7 @@ def protocol_rows(
 
     field = PrimeField()
     machine = bank_account_machine(field, num_accounts=2)
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     rows = []
     for num_nodes in network_sizes:
         protocol = _build_protocol(
@@ -314,7 +313,7 @@ def protocol_rows(
             rng.integers(1, 1000, size=(k, machine.command_dim))
             for _ in range(rounds)
         ]
-        start = time.perf_counter()
+        start = wall_clock()
         if service:
             mode = "service-pipelined" if pipelined else "service"
             svc = CSMService(
@@ -334,7 +333,7 @@ def protocol_rows(
         else:
             mode = "sequential"
             protocol.run_rounds(batches)
-        elapsed = time.perf_counter() - start
+        elapsed = wall_clock() - start
         rows.append(
             {
                 "N": num_nodes,
@@ -383,7 +382,7 @@ def consensus_rows(
                 field, machine, num_nodes, fault_fraction, seed, plane
             )
             k = protocol.num_machines
-            command_rng = np.random.default_rng(seed)
+            command_rng = default_stream(seed)
             batches = [
                 command_rng.integers(1, 1000, size=(k, machine.command_dim))
                 for _ in range(rounds)
@@ -391,7 +390,7 @@ def consensus_rows(
             client_rounds = [
                 [f"client:{i}" for i in range(k)] for _ in range(rounds)
             ]
-            start = time.perf_counter()
+            start = wall_clock()
             decisions = protocol.consensus.decide_rounds(
                 0,
                 rounds,
@@ -399,14 +398,14 @@ def consensus_rows(
                     batches[offset], client_rounds[offset]
                 ),
             )
-            consensus_elapsed = time.perf_counter() - start
+            consensus_elapsed = wall_clock() - start
             sample = protocol._select_decision(decisions[0])
             commands_matrix = np.stack(
                 [protocol._select_decision(d).commands for d in decisions]
             )
-            start = time.perf_counter()
+            start = wall_clock()
             protocol.engine.execute_rounds(commands_matrix)
-            execution_elapsed = time.perf_counter() - start
+            execution_elapsed = wall_clock() - start
             rows.append(
                 {
                     "N": num_nodes,
@@ -452,7 +451,7 @@ def service_rows(
 
     field = PrimeField()
     machine = bank_account_machine(field, num_accounts=2)
-    rng = np.random.default_rng(seed)
+    rng = default_stream(seed)
     rows = []
     for num_nodes in network_sizes:
         protocol = _build_protocol(field, machine, num_nodes, fault_fraction, seed)
@@ -463,7 +462,7 @@ def service_rows(
         sessions = [service.connect(f"client:{i}") for i in range(k)]
         burst = service.connect("client:burst")
         submitted = 0
-        start = time.perf_counter()
+        start = wall_clock()
         for _ in range(rounds):
             for i in range(k):
                 if rng.random() < fill_probability:
@@ -475,7 +474,7 @@ def service_rows(
             submitted += 1
             service.drive()
         service.drain()
-        elapsed = time.perf_counter() - start
+        elapsed = wall_clock() - start
         tickets = service.tickets()
         executed = sum(1 for t in tickets if t.state is TicketState.EXECUTED)
         failed = sum(1 for t in tickets if t.state is TicketState.FAILED)
@@ -574,10 +573,10 @@ def sharded_rows(
         ):
             # Fresh generator per mode: both modes draw the same command
             # stream, so the rows compare deployments, not workloads.
-            command_rng = np.random.default_rng(seed)
+            command_rng = default_stream(seed)
             k_total = service.num_machines
             sessions = [service.connect(f"client:{i}") for i in range(k_total)]
-            start = time.perf_counter()
+            start = wall_clock()
             for _ in range(rounds):
                 for i in range(k_total):
                     sessions[i].submit(
@@ -585,7 +584,7 @@ def sharded_rows(
                     )
                 service.drive()
             service.drain()
-            elapsed = time.perf_counter() - start
+            elapsed = wall_clock() - start
             tickets = service.tickets()
             executed = sum(1 for t in tickets if t.state is TicketState.EXECUTED)
             failed = sum(1 for t in tickets if t.state is TicketState.FAILED)

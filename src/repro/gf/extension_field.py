@@ -18,7 +18,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.exceptions import FieldError
-from repro.gf.field import Field
+from repro.gf.field import ArrayLike, Field
 
 #: Irreducible polynomials over GF(2) for each supported extension degree,
 #: given as integer bit masks including the leading term.  E.g. m=8 uses
@@ -141,23 +141,23 @@ class BinaryExtensionField(Field):
         return result
 
     # -- arithmetic -------------------------------------------------------------------
-    def add(self, a, b):
+    def add(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         self._count_add(self._size_of(a, b))
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return np.bitwise_xor(self.array(a), self.array(b))
         return self.element(a) ^ self.element(b)
 
-    def sub(self, a, b):
+    def sub(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         # Characteristic 2: subtraction is addition.
         return self.add(a, b)
 
-    def neg(self, a):
+    def neg(self, a: ArrayLike) -> ArrayLike:
         self._count_add(self._size_of(a))
         if isinstance(a, np.ndarray):
             return self.array(a)
         return self.element(a)
 
-    def mul(self, a, b):
+    def mul(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         self._count_mul(self._size_of(a, b))
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             a_arr = np.broadcast_to(self.array(a), np.broadcast_shapes(np.shape(a), np.shape(b)))
@@ -169,7 +169,7 @@ class BinaryExtensionField(Field):
             return np.asarray(flat, dtype=np.int64).reshape(a_arr.shape)
         return self._mul_scalar(int(a), int(b))
 
-    def inv(self, a):
+    def inv(self, a: ArrayLike) -> ArrayLike:
         bits = self._m
         if isinstance(a, np.ndarray):
             self._count_inv(a.size, mul_equivalent=2 * bits * a.size)
@@ -178,7 +178,7 @@ class BinaryExtensionField(Field):
         self._count_inv(1, mul_equivalent=2 * bits)
         return self._inv_scalar(int(a))
 
-    def pow(self, a, exponent: int):
+    def pow(self, a: ArrayLike, exponent: int) -> ArrayLike:
         exponent = int(exponent)
         if exponent < 0:
             return self.pow(self.inv(a), -exponent)

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, TypeAlias
 
 import numpy as np
 
 from repro.exceptions import FieldError
 
-ArrayLike = "np.ndarray | int | Sequence[int]"
+#: Scalars and numpy arrays of canonical field elements — the common
+#: currency of every arithmetic method below.
+ArrayLike: TypeAlias = "np.ndarray | int | Sequence[int]"
 
 
 @dataclass
@@ -136,30 +138,30 @@ class Field(ABC):
 
     # -- arithmetic ---------------------------------------------------------
     @abstractmethod
-    def add(self, a, b):
+    def add(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         """Element-wise addition; accepts scalars or numpy arrays."""
 
     @abstractmethod
-    def sub(self, a, b):
+    def sub(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         """Element-wise subtraction; accepts scalars or numpy arrays."""
 
     @abstractmethod
-    def mul(self, a, b):
+    def mul(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         """Element-wise multiplication; accepts scalars or numpy arrays."""
 
     @abstractmethod
-    def neg(self, a):
+    def neg(self, a: ArrayLike) -> ArrayLike:
         """Element-wise additive inverse."""
 
     @abstractmethod
-    def inv(self, a):
+    def inv(self, a: ArrayLike) -> ArrayLike:
         """Element-wise multiplicative inverse; raises on zero."""
 
     @abstractmethod
-    def pow(self, a, exponent: int):
+    def pow(self, a: ArrayLike, exponent: int) -> ArrayLike:
         """Element-wise exponentiation by a non-negative integer."""
 
-    def div(self, a, b):
+    def div(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         """Element-wise division ``a / b``."""
         return self.mul(a, self.inv(b))
 
@@ -215,7 +217,7 @@ class Field(ABC):
                 out[i, j] = self.dot(a_arr[i, :], b_arr[:, j])
         return out
 
-    def dot(self, a: np.ndarray, b: np.ndarray):
+    def dot(self, a: np.ndarray, b: np.ndarray) -> int:
         """Inner product of two equal-length vectors of field elements."""
         a_arr = self.array(a)
         b_arr = self.array(b)
@@ -226,15 +228,14 @@ class Field(ABC):
         products = self.mul(a_arr, b_arr)
         return self.sum(products)
 
-    def sum(self, values) -> int:
+    def sum(self, values: ArrayLike) -> int:
         """Sum of a vector of field elements."""
         arr = self.array(values).reshape(-1)
-        total = self.zero
         if arr.size == 0:
-            return total
+            return self.zero
         total = int(arr[0])
         for value in arr[1:]:
-            total = self.add(total, int(value))
+            total = int(self.add(total, int(value)))
         return total
 
     # -- sampling -------------------------------------------------------------
@@ -244,7 +245,9 @@ class Field(ABC):
     def random_nonzero(self, rng: np.random.Generator) -> int:
         return int(rng.integers(1, self.order))
 
-    def random_array(self, rng: np.random.Generator, shape) -> np.ndarray:
+    def random_array(
+        self, rng: np.random.Generator, shape: int | tuple[int, ...]
+    ) -> np.ndarray:
         return self.array(rng.integers(0, self.order, size=shape, dtype=np.int64))
 
     def distinct_points(self, count: int, start: int = 1) -> list[int]:
@@ -275,7 +278,7 @@ class Field(ABC):
             self.counter.inv(n, mul_equivalent=mul_equivalent)
 
     @staticmethod
-    def _size_of(a, b=None) -> int:
+    def _size_of(a: ArrayLike, b: ArrayLike | None = None) -> int:
         """Number of scalar operations represented by an element-wise op."""
         size_a = a.size if isinstance(a, np.ndarray) else 1
         size_b = b.size if isinstance(b, np.ndarray) else 1

@@ -135,7 +135,7 @@ class Poly:
     def __neg__(self) -> "Poly":
         return Poly(self.field, [self.field.neg(c) for c in self.coeffs])
 
-    def __mul__(self, other):
+    def __mul__(self, other: "Poly | int") -> "Poly":
         if isinstance(other, int):
             return self.scale(other)
         self._check_same_field(other)
@@ -229,8 +229,8 @@ class Poly:
             acc = field.add(field.mul(acc, pts), np.full_like(pts, c))
         return acc
 
-    def __call__(self, point):
-        if isinstance(point, np.ndarray) or isinstance(point, (list, tuple)):
+    def __call__(self, point: "int | list | tuple | np.ndarray") -> "int | np.ndarray":
+        if isinstance(point, (np.ndarray, list, tuple)):
             return self.evaluate_many(point)
         return self.evaluate(int(point))
 

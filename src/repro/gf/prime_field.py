@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import FieldError
-from repro.gf.field import Field
+from repro.gf.field import ArrayLike, Field
 
 #: Mersenne prime 2**31 - 1; large enough for any realistic network size and
 #: safe for int64 products.
@@ -107,31 +107,31 @@ class PrimeField(Field):
         return np.mod(arr, self._p)
 
     # -- arithmetic ----------------------------------------------------------------
-    def add(self, a, b):
+    def add(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         self._count_add(self._size_of(a, b))
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return np.mod(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64), self._p)
         return (int(a) + int(b)) % self._p
 
-    def sub(self, a, b):
+    def sub(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         self._count_add(self._size_of(a, b))
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return np.mod(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64), self._p)
         return (int(a) - int(b)) % self._p
 
-    def mul(self, a, b):
+    def mul(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
         self._count_mul(self._size_of(a, b))
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return np.mod(np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64), self._p)
         return (int(a) * int(b)) % self._p
 
-    def neg(self, a):
+    def neg(self, a: ArrayLike) -> ArrayLike:
         self._count_add(self._size_of(a))
         if isinstance(a, np.ndarray):
             return np.mod(-np.asarray(a, dtype=np.int64), self._p)
         return (-int(a)) % self._p
 
-    def inv(self, a):
+    def inv(self, a: ArrayLike) -> ArrayLike:
         bits = max(self._p.bit_length() - 1, 1)
         if isinstance(a, np.ndarray):
             if np.any(np.mod(a, self._p) == 0):
@@ -144,7 +144,7 @@ class PrimeField(Field):
         self._count_inv(1, mul_equivalent=2 * bits)
         return pow(value, self._p - 2, self._p)
 
-    def pow(self, a, exponent: int):
+    def pow(self, a: ArrayLike, exponent: int) -> ArrayLike:
         exponent = int(exponent)
         if exponent < 0:
             return self.pow(self.inv(a), -exponent)

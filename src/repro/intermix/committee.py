@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.rng import default_stream
 
 
 @dataclass
@@ -76,7 +77,7 @@ class CommitteeElection:
         self.node_ids = list(node_ids)
         self.fault_fraction = float(fault_fraction)
         self.failure_probability = float(failure_probability)
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
 
     @property
     def committee_size(self) -> int:

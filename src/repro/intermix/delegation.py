@@ -38,6 +38,7 @@ from repro.lcc.scheme import LagrangeScheme
 from repro.intermix.committee import Committee, CommitteeElection
 from repro.intermix.protocol import IntermixProtocol, VerificationOutcome
 from repro.intermix.worker import WorkerStrategy
+from repro.rng import default_stream
 
 
 @dataclass
@@ -92,7 +93,7 @@ class DelegatedCodingService:
         self.field: Field = scheme.field
         self.transition_degree = int(transition_degree)
         self.node_ids = list(node_ids)
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.intermix = IntermixProtocol(
             self.field,
             self.node_ids,

@@ -31,6 +31,7 @@ from repro.intermix.auditor import Auditor, AuditTranscript
 from repro.intermix.commoner import Commoner, CommonerVerdict
 from repro.intermix.committee import Committee, CommitteeElection
 from repro.intermix.worker import Worker, WorkerStrategy
+from repro.rng import default_stream
 
 
 @dataclass
@@ -82,7 +83,7 @@ class IntermixProtocol:
     ) -> None:
         self.field = field
         self.node_ids = list(node_ids)
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.election = CommitteeElection(
             node_ids, fault_fraction, failure_probability, rng=self.rng
         )

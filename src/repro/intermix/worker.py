@@ -32,6 +32,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.gf.field import Field, OperationCounter
 from repro.gf.linalg import gf_matvec
+from repro.rng import default_stream
 
 
 class WorkerStrategy(str, Enum):
@@ -65,7 +66,7 @@ class Worker:
         self.node_id = str(node_id)
         self.field = field
         self.strategy = WorkerStrategy(strategy)
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.counter = OperationCounter()
         self.query_log: list[QueryRecord] = []
         self._matrix: np.ndarray | None = None

@@ -1,0 +1,51 @@
+"""csm-lint: AST-based determinism and protocol-invariant analysis.
+
+Every performance PR in this repository is certified by *bit-identity*
+oracles — identical rng streams, identical :class:`~repro.gf.field.
+OperationCounter` charges, identical delivery logs.  Those invariants are
+easy to break silently: an ambient ``np.random.default_rng(0)`` fallback, a
+stray ``time.time()`` in a hot path, or a GF fast path that forgets to
+charge the counter only surfaces when a property suite happens to catch it.
+
+``repro.lint`` shifts those checks left.  It is a small rule-driven static
+analyzer over the repository's own invariants:
+
+========  ==============================================================
+Rule      Invariant
+========  ==============================================================
+DET001    RNG streams are constructed only at allowlisted sites
+          (:mod:`repro.rng`); everything else takes a ``Generator``.
+DET002    Wall-clock reads live only in the measurement/benchmark layer.
+DET003    No iteration over ``set``s (or unsorted ``dict.keys()`` feeding
+          accumulation) — replay order must be deterministic.
+CNT001    Arithmetic methods on gf field/polynomial/decoder classes charge
+          the attached ``OperationCounter`` (or are allowlisted as
+          count-parity verified).
+RNG001    A function that *accepts* an ``rng`` parameter never constructs
+          a second stream of its own.
+EXC001    No bare ``except`` and no silently swallowed
+          ``ConsensusError``/``SecurityViolation``.
+========  ==============================================================
+
+Findings can be suppressed per line with ``# csm-lint: disable=RULE`` (or
+``disable=RULE1,RULE2`` / ``disable=all``), and grandfathered violations
+live in a committed JSON baseline (``lint-baseline.json``).  Run it as::
+
+    python -m repro.lint src [--baseline lint-baseline.json] [--format json]
+
+Configuration is read from ``[tool.csm-lint]`` in ``pyproject.toml``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import Finding, LintEngine, analyze_paths
+from repro.lint.rules import RULE_REGISTRY, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "RULE_REGISTRY",
+    "Rule",
+    "analyze_paths",
+    "load_config",
+]

@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.lint src [options]``.
+
+Exit status: 0 when no non-baselined findings remain, 1 when new findings
+were reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, new_findings, write_baseline
+from repro.lint.config import load_config
+from repro.lint.engine import LintEngine
+from repro.lint.rules import RULE_REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="csm-lint: determinism & protocol-invariant static analysis",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline of grandfathered findings (only *new* findings fail)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        default=None,
+        help=f"comma-separated rule ids to run (default: all of "
+        f"{','.join(sorted(RULE_REGISTRY))})",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml holding [tool.csm-lint] (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_REGISTRY):
+            print(f"{rule_id}  {RULE_REGISTRY[rule_id].description}")
+        return 0
+
+    config = load_config(args.config)
+    rule_ids = (
+        [token.strip().upper() for token in args.rules.split(",") if token.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        engine = LintEngine(config=config, rule_ids=rule_ids)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if not args.paths:
+        parser.error("at least one path to analyze is required")
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    findings = engine.check_paths(args.paths)
+
+    if args.write_baseline:
+        if not args.baseline:
+            parser.error("--write-baseline requires --baseline FILE")
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    fresh = new_findings(findings, baseline) if baseline is not None else findings
+    baselined = len(findings) - len(fresh)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in fresh],
+                    "baselined": baselined,
+                    "checked_rules": sorted(r.rule_id for r in engine.rules),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in fresh:
+            print(finding.format_text())
+        summary = f"{len(fresh)} finding(s)"
+        if baselined:
+            summary += f" ({baselined} baselined finding(s) suppressed)"
+        print(summary, file=sys.stderr)
+
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

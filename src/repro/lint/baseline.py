@@ -1,0 +1,74 @@
+"""Committed findings baseline: grandfather old violations, block new ones.
+
+The baseline intentionally does *not* store line numbers.  A finding's
+fingerprint is ``(path, rule, stripped source line)``; the baseline stores
+how many findings share each fingerprint.  Unrelated edits that move code
+around therefore leave the baseline stable, while a *new* violation — even
+one textually identical to a baselined one — trips the gate as soon as it
+raises the count for its fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+__all__ = ["fingerprint", "load_baseline", "new_findings", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule_id}::{finding.line_text}"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a fingerprint -> count mapping."""
+    baseline_path = Path(path)
+    if not baseline_path.is_file():
+        return Counter()
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        key = f"{entry['path']}::{entry['rule']}::{entry.get('line_text', '')}"
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Serialise ``findings`` as the new baseline (sorted, deterministic)."""
+    counts: Counter = Counter(fingerprint(f) for f in findings)
+    meta: dict[str, tuple[str, str, str]] = {}
+    for finding in findings:
+        meta.setdefault(
+            fingerprint(finding),
+            (finding.path, finding.rule_id, finding.line_text),
+        )
+    entries = [
+        {
+            "path": meta[key][0],
+            "rule": meta[key][1],
+            "line_text": meta[key][2],
+            "count": count,
+        }
+        for key, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def new_findings(findings: list[Finding], baseline: Counter) -> list[Finding]:
+    """Findings beyond the baselined count for their fingerprint."""
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

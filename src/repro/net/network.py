@@ -26,6 +26,7 @@ from repro.net.latency import DelayModel, SynchronousDelay
 from repro.net.message import Message, MessageKind, PhaseBatch
 from repro.net.signatures import KeyRegistry
 from repro.net.simulator import EventScheduler
+from repro.rng import default_stream
 
 
 @dataclass
@@ -171,7 +172,7 @@ class SimulatedNetwork:
         key_registry: KeyRegistry | None = None,
     ) -> None:
         self.delay_model = delay_model or SynchronousDelay()
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.keys = key_registry or KeyRegistry()
         self.scheduler = EventScheduler()
         self._mailboxes: dict[str, _Mailbox] = {}

@@ -20,6 +20,7 @@ from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior, HonestBehavior
 from repro.replication.base import BatchExecutionMixin, RoundResult
 from repro.replication.client import OutputCollector
+from repro.rng import default_stream
 
 
 class FullReplicationSMR(BatchExecutionMixin):
@@ -54,7 +55,7 @@ class FullReplicationSMR(BatchExecutionMixin):
         self.num_machines = int(num_machines)
         self.node_ids = list(node_ids)
         self.behaviors = dict(behaviors or {})
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         # Reference (true) states, and each node's replica of all K states.
         self.states = np.tile(machine.initial_state, (num_machines, 1))
         self.replicas: dict[str, np.ndarray] = {

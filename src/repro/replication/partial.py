@@ -18,6 +18,7 @@ from repro.machine.interface import StateMachine
 from repro.net.byzantine import ByzantineBehavior, HonestBehavior
 from repro.replication.base import BatchExecutionMixin, RoundResult
 from repro.replication.client import OutputCollector
+from repro.rng import default_stream
 
 
 class PartialReplicationSMR(BatchExecutionMixin):
@@ -42,7 +43,7 @@ class PartialReplicationSMR(BatchExecutionMixin):
         self.num_machines = int(num_machines)
         self.node_ids = list(node_ids)
         self.behaviors = dict(behaviors or {})
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_stream()
         self.group_size = len(node_ids) // num_machines
         # groups[k] is the list of node ids replicating machine k.
         self.groups: list[list[str]] = [

@@ -1,0 +1,54 @@
+"""The single sanctioned construction site for random streams.
+
+Replay determinism — the foundation of every bit-identity oracle in this
+repository — requires that *all* randomness flows from generators whose
+seeds are visible at one place.  Before this module existed, the idiom
+``self.rng = rng or np.random.default_rng(0)`` was scattered across the
+consensus, network, intermix and replication layers: each silently forked
+an independent seed-0 stream, and nothing distinguished "the caller chose
+seed 0" from "nobody chose anything".
+
+csm-lint rule DET001 now forbids constructing a generator anywhere but
+here.  Components either accept a ``numpy.random.Generator`` from their
+caller, or take the documented ambient stream explicitly::
+
+    from repro.rng import default_stream
+
+    self.rng = rng if rng is not None else default_stream()
+
+Derived (child) streams — e.g. the execution engine's dedicated stream
+seeded off the protocol rng — come from :func:`derived_stream`, which keeps
+the parent/child draw relationship explicit and auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "default_stream", "derived_stream"]
+
+#: Seed of the ambient stream used when a component is built without an
+#: explicit generator.  Matches the historical ``default_rng(0)`` fallback,
+#: so pre-refactor runs replay bit-identically.
+DEFAULT_SEED = 0
+
+
+def default_stream(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Return a fresh deterministic stream seeded with ``seed``.
+
+    This is the only approved ambient-stream constructor (DET001).  Call it
+    at most once per component, in the constructor, and only as the
+    fallback for an absent caller-supplied generator.
+    """
+    return np.random.default_rng(int(seed))
+
+
+def derived_stream(parent: np.random.Generator) -> np.random.Generator:
+    """Fork a child stream whose seed is drawn from ``parent``.
+
+    The draw advances ``parent`` by exactly one ``integers`` call, so the
+    parent stream's position remains part of the replayable state.  This
+    reproduces the historical ``default_rng(int(rng.integers(0, 2**63)))``
+    idiom at a single audited site.
+    """
+    return np.random.default_rng(int(parent.integers(0, 2**63)))
