@@ -15,8 +15,11 @@ at >= 1.5x the batched commands/sec on the fault-free largest
 configuration (bit-identical results), and
 ``test_pipelined_graceful_under_persistent_faults`` bounds the degradation
 under a persistent 20% fault load at <= ~1.1x.  ``--pipelined`` smoke-runs
-the protocol/service sweeps through the pipelined mode, and ``--json PATH``
-writes the ``BENCH_throughput.json`` perf-trajectory artifact.
+the protocol/service sweeps through the pipelined mode, ``--traffic``
+enables the open-loop QoS benchmarks (weighted-fair slot shares, bounded
+queues, logical-tick latency percentiles), and ``--json PATH`` writes the
+``BENCH_throughput.json`` perf-trajectory artifact (now including the
+traffic percentiles and their gateable p99/p50 ratios).
 """
 
 import time
@@ -666,6 +669,139 @@ def test_sharded_service_higher_commands_per_sec(field):
     )
 
 
+def _run_traffic_scenario(
+    field,
+    num_nodes,
+    ticks,
+    num_sessions=8,
+    rate=2.0,
+    seed=9,
+    weighted=True,
+):
+    """One deterministic open-loop Poisson run under a saturating QoS policy.
+
+    Capacity is pinned to one round per tick (``max_batch_rounds=1``, ``K``
+    slots) against an offered load of ``rate * num_sessions`` commands per
+    tick, so the run saturates; the per-session cap and the admission
+    watermark bound the backlog, and session ``traffic:0`` carries stride
+    weight 2.  Everything downstream — throttle decisions, latency
+    percentiles in logical ticks, per-session slot counts — is a pure
+    function of ``(num_nodes, ticks, num_sessions, rate, seed)``.
+    """
+    from repro.rng import default_stream
+    from repro.service import CSMService, OpenLoopDriver, PoissonProcess, QosPolicy
+
+    machine = bank_account_machine(field, num_accounts=2)
+    num_faults = int(0.2 * num_nodes)
+    num_machines = max(
+        csm_supported_machines(num_nodes, 0.2, machine.degree) // 2, 1
+    )
+    protocol = _build_protocol(
+        field, machine, num_nodes, num_machines, num_faults, seed=1
+    )
+    qos = QosPolicy(
+        max_session_pending=16,
+        admission_watermark=8 * num_machines,
+        selection="weighted_fair" if weighted else "fifo",
+        session_weights={"traffic:0": 2} if weighted else {},
+    )
+    service = CSMService(protocol, max_batch_rounds=1, qos=qos)
+    driver = OpenLoopDriver(
+        service,
+        PoissonProcess(rate=rate),
+        num_sessions=num_sessions,
+        rng=default_stream(seed),
+    )
+    report = driver.run(ticks, drain=False)
+    return service, qos, report
+
+
+def test_traffic_rows_smoke(benchmark, traffic_mode):
+    """``--traffic``: small open-loop Poisson/bursty sweep at N=16.
+
+    The CI smoke for the traffic harness: both arrival processes run over
+    the experiment sweep's QoS configuration, every accepted ticket
+    resolves, and the logical-tick latency percentiles are populated.
+    """
+    import pytest
+
+    if not traffic_mode:
+        pytest.skip("pass --traffic to run the open-loop traffic benchmarks")
+
+    rows = benchmark(
+        scaling.traffic_rows, network_sizes=(16,), ticks=16, num_sessions=8
+    )
+    assert {row["process"] for row in rows} == {"poisson", "bursty"}
+    for row in rows:
+        assert row["submitted"] > 0
+        # drained run: everything accepted was eventually delivered
+        assert row["executed"] == row["submitted"] - row["throttled"]
+        assert row["p50_commit"] is not None and row["p50_commit"] >= 1
+        assert row["p99_commit"] >= row["p50_commit"]
+        assert row["p99_execute"] >= row["p50_execute"] >= row["p50_commit"]
+
+
+def test_traffic_qos_fairness_and_backpressure(field, traffic_mode):
+    """``--traffic`` at N=32: weighted shares, bounded queues, percentiles.
+
+    The acceptance gate of the QoS subsystem, on a saturating open-loop
+    Poisson workload:
+
+    * **Weighted fair selection** — the stride-weight-2 session receives
+      ~2x the delivered slots of the mean weight-1 session (measured 1.9x;
+      the run is deterministic, the band allows seed-level variation only).
+    * **Bounded queues** — the ingress backlog never exceeds the admission
+      watermark nor the summed per-session caps, and both throttle causes
+      fire and are reported with machine-readable reasons.
+    * **Latency accounting** — p50/p99 commit and execute latency are
+      populated, in logical ticks, with p99 >= p50 >= 1.
+    """
+    import pytest
+
+    from repro.service import ThrottleReason, TicketState
+
+    if not traffic_mode:
+        pytest.skip("pass --traffic to run the open-loop traffic benchmarks")
+
+    num_sessions = 8
+    service, qos, report = _run_traffic_scenario(
+        field, num_nodes=32, ticks=30, num_sessions=num_sessions
+    )
+
+    # Weighted fair selection: ~2x slots for the weight-2 session.
+    shares = report.executed_by_session
+    weighted = shares["traffic:0"]
+    others = [count for name, count in shares.items() if name != "traffic:0"]
+    assert min(others) > 0
+    ratio = weighted / (sum(others) / len(others))
+    assert 1.6 <= ratio <= 2.4, (
+        f"weight-2 session received {ratio:.2f}x the mean weight-1 slots, "
+        "outside the ~2x weighted-fair band"
+    )
+
+    # Bounded queues: backlog capped by watermark and per-session caps.
+    assert qos.admission_watermark is not None
+    assert report.max_pending <= qos.admission_watermark
+    assert report.max_pending <= num_sessions * qos.max_session_pending
+    assert report.throttled_session > 0 and report.throttled_admission > 0
+    assert report.throttled == report.throttled_session + report.throttled_admission
+    throttled = [
+        t for t in service.tickets() if t.state is TicketState.THROTTLED
+    ]
+    assert len(throttled) == report.throttled
+    assert all(
+        t.throttle_reason
+        in (ThrottleReason.SESSION_QUEUE_FULL, ThrottleReason.ADMISSION_SHED)
+        for t in throttled
+    )
+
+    # Latency percentiles in logical ticks.
+    for key in ("commit_latency", "execute_latency"):
+        percentiles = getattr(report, key)
+        assert percentiles["p50"] is not None and percentiles["p50"] >= 1
+        assert percentiles["p99"] >= percentiles["p50"]
+
+
 def test_throughput_json_artifact(json_artifact_path, shard_count):
     """Write the ``BENCH_throughput.json`` perf-trajectory artifact.
 
@@ -692,6 +828,13 @@ def test_throughput_json_artifact(json_artifact_path, shard_count):
     service_rows = scaling.service_rows(network_sizes=(8, 12), rounds=3)
     sharded_rows = scaling.sharded_rows(
         network_sizes=(8, 12), rounds=3, shards=shard_count
+    )
+    # Open-loop latency percentiles are logical-tick counts — deterministic,
+    # so the p99/p50 ratios below are gateable across machines.
+    from repro.gf.prime_field import PrimeField
+
+    _, _, traffic_report = _run_traffic_scenario(
+        PrimeField(), num_nodes=32, ticks=30
     )
 
     def rate(rows, key="commands_per_sec"):
@@ -759,6 +902,27 @@ def test_throughput_json_artifact(json_artifact_path, shard_count):
             row["consensus_over_execution"]
             for row in consensus_rows
             if row["N"] == 32 and row["consensus_plane"] == "vectorised"
+        ),
+        "traffic": {
+            "N": 32,
+            "ticks": traffic_report.ticks,
+            "sessions": traffic_report.num_sessions,
+            "submitted": traffic_report.submitted,
+            "executed": traffic_report.executed,
+            "throttled": traffic_report.throttled,
+            "max_pending": traffic_report.max_pending,
+            "p50_commit": traffic_report.commit_latency["p50"],
+            "p99_commit": traffic_report.commit_latency["p99"],
+            "p50_execute": traffic_report.execute_latency["p50"],
+            "p99_execute": traffic_report.execute_latency["p99"],
+        },
+        "traffic_p99_over_p50_commit": (
+            traffic_report.commit_latency["p99"]
+            / traffic_report.commit_latency["p50"]
+        ),
+        "traffic_p99_over_p50_execute": (
+            traffic_report.execute_latency["p99"]
+            / traffic_report.execute_latency["p50"]
         ),
         "rows": {
             "engine": engine_rows,

@@ -17,8 +17,10 @@ Two classes of metric are gated differently:
   decisions/sec, ``sharded``): machine-dependent, so by default only the
   *self-normalised* ratios recorded inside each artifact are compared —
   ``pipelined_speedup_at_largest``, ``consensus_speedup_at_largest`` (both
-  must not shrink beyond tolerance) and
-  ``consensus_over_execution_at_largest`` (must not grow beyond tolerance).
+  must not shrink beyond tolerance), ``consensus_over_execution_at_largest``
+  and the open-loop tail-latency shapes ``traffic_p99_over_p50_commit`` /
+  ``traffic_p99_over_p50_execute`` (none may grow beyond tolerance; the
+  latency ratios are logical-tick counts, deterministic per scenario).
   Pass ``--raw`` to additionally gate the absolute rates when both
   artifacts were produced on the same machine.
 
@@ -55,6 +57,12 @@ RATIO_METRICS = (
     ("pipelined_speedup_at_largest", "min"),
     ("consensus_speedup_at_largest", "min"),
     ("consensus_over_execution_at_largest", "max"),
+    # Open-loop tail-latency shape: p99/p50 in logical scheduler ticks — a
+    # deterministic function of the traffic scenario, so comparable across
+    # machines.  A rise means the tail got disproportionately worse (a QoS
+    # or scheduling regression) even if the medians moved together.
+    ("traffic_p99_over_p50_commit", "max"),
+    ("traffic_p99_over_p50_execute", "max"),
 )
 
 

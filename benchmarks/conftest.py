@@ -82,6 +82,17 @@ def pytest_addoption(parser):
     )
 
     parser.addoption(
+        "--traffic",
+        action="store_true",
+        default=False,
+        help=(
+            "Enable the open-loop traffic benchmarks (OpenLoopDriver over "
+            "Poisson/bursty arrivals under a QosPolicy: latency percentiles "
+            "in logical ticks, weighted-fair slot shares, bounded queues)."
+        ),
+    )
+
+    parser.addoption(
         "--json",
         action="store",
         default=None,
@@ -128,6 +139,12 @@ def consensus_only_mode(request) -> bool:
 def consensus_oracle_mode(request) -> bool:
     """Whether ``--consensus-oracle`` was passed on the command line."""
     return bool(request.config.getoption("--consensus-oracle"))
+
+
+@pytest.fixture(scope="session")
+def traffic_mode(request) -> bool:
+    """Whether ``--traffic`` was passed on the command line."""
+    return bool(request.config.getoption("--traffic"))
 
 
 @pytest.fixture(scope="session")

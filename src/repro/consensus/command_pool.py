@@ -152,6 +152,35 @@ class CommandPool:
             return None
         return queue.popleft()
 
+    def pending_entries(self, machine_index: int) -> tuple[SubmittedCommand, ...]:
+        """Snapshot of the machine's pending queue, in FIFO order.
+
+        The candidate view a :class:`~repro.service.qos.SelectionPolicy`
+        chooses from when the round scheduler fills the machine's slot; a
+        snapshot (not the live deque), so a policy cannot mutate the pool.
+        """
+        self._check_machine(machine_index)
+        return tuple(self._queues[machine_index])
+
+    def dequeue_sequence(self, machine_index: int, sequence: int) -> SubmittedCommand:
+        """Pop the pending entry with ``sequence`` (selection-policy dequeue).
+
+        The non-FIFO counterpart of :meth:`dequeue_next`: a selection policy
+        picked this entry out of :meth:`pending_entries`, so it must still be
+        pending — a missing sequence means the policy returned an entry it
+        was never offered, which is a scheduler bug, not traffic.
+        """
+        self._check_machine(machine_index)
+        queue = self._queues[machine_index]
+        for i, entry in enumerate(queue):
+            if entry.sequence == int(sequence):
+                del queue[i]
+                return entry
+        raise ConfigurationError(
+            f"no pending entry with sequence {sequence} for machine "
+            f"{machine_index} — selection policy returned a stale candidate"
+        )
+
     def mark_executed(self, machine_index: int, command: SubmittedCommand) -> None:
         """Remove a decided command from the pool, keyed by its ``sequence``.
 

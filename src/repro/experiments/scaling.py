@@ -609,6 +609,93 @@ def sharded_rows(
     return rows
 
 
+def traffic_rows(
+    network_sizes: tuple[int, ...] = (8, 12, 16),
+    fault_fraction: float = 0.2,
+    seed: int = 0,
+    ticks: int = 24,
+    num_sessions: int = 16,
+    rate: float = 0.5,
+    max_session_pending: int = 8,
+    admission_watermark: int | None = None,
+    weighted: bool = True,
+) -> list[dict]:
+    """Open-loop Poisson and bursty traffic under a live QoS policy.
+
+    For each network size the same service configuration is driven by two
+    open-loop arrival processes — i.i.d. Poisson and on/off bursty — over
+    ``num_sessions`` sessions, with a per-session queue cap (and optionally
+    an admission watermark) bounding the backlog and, when ``weighted``,
+    session 0 carrying stride weight 2 so its slot share under saturation is
+    measurable.  One row per ``(N, process)``: delivered/throttled counts,
+    the peak ingress backlog, and p50/p90/p99 commit and execute latency in
+    *logical scheduler ticks* — fully deterministic, unlike the wall-clock
+    columns of the other sweeps.
+    """
+    from repro.rng import derived_stream
+    from repro.service import (
+        BurstyProcess,
+        CSMService,
+        OpenLoopDriver,
+        PoissonProcess,
+        QosPolicy,
+    )
+
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    rows = []
+    for num_nodes in network_sizes:
+        for process_name in ("poisson", "bursty"):
+            protocol = _build_protocol(
+                field, machine, num_nodes, fault_fraction, seed
+            )
+            qos = QosPolicy(
+                max_session_pending=max_session_pending,
+                admission_watermark=admission_watermark,
+                selection="weighted_fair" if weighted else "fifo",
+                session_weights={"traffic:0": 2} if weighted else {},
+            )
+            service = CSMService(protocol, qos=qos)
+            process = (
+                PoissonProcess(rate=rate)
+                if process_name == "poisson"
+                else BurstyProcess(on_rate=2 * rate, p_on_off=0.25, p_off_on=0.25)
+            )
+            driver = OpenLoopDriver(
+                service,
+                process,
+                num_sessions=num_sessions,
+                rng=derived_stream(default_stream(seed)),
+            )
+            report = driver.run(ticks)
+            rows.append(
+                {
+                    "N": num_nodes,
+                    "K": protocol.num_machines,
+                    "process": process_name,
+                    "sessions": num_sessions,
+                    "ticks": report.ticks,
+                    "submitted": report.submitted,
+                    "executed": report.executed,
+                    "throttled": report.throttled,
+                    "max_pending": report.max_pending,
+                    "p50_commit": report.commit_latency["p50"],
+                    "p90_commit": report.commit_latency["p90"],
+                    "p99_commit": report.commit_latency["p99"],
+                    "p50_execute": report.execute_latency["p50"],
+                    "p90_execute": report.execute_latency["p90"],
+                    "p99_execute": report.execute_latency["p99"],
+                    "weighted_session_share": (
+                        report.executed_by_session.get("traffic:0", 0)
+                        / report.executed
+                        if report.executed
+                        else 0.0
+                    ),
+                }
+            )
+    return rows
+
+
 def run(**kwargs) -> dict:
     return {
         "scaling_laws": scaling_law_rows(**{k: v for k, v in kwargs.items() if k in (
@@ -629,6 +716,9 @@ def run(**kwargs) -> dict:
         "sharded": sharded_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds", "shards",
             "min_fill", "vectorised_consensus")}),
+        "traffic": traffic_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "ticks", "num_sessions",
+            "rate", "max_session_pending", "admission_watermark", "weighted")}),
     }
 
 
@@ -654,6 +744,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("Sharded vs unsharded serving (partitioned pools + per-shard consensus)")
     print(format_table(result["sharded"]))
+    print()
+    print("Open-loop traffic under QoS (logical-tick latency percentiles)")
+    print(format_table(result["traffic"]))
 
 
 if __name__ == "__main__":  # pragma: no cover

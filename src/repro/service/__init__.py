@@ -14,29 +14,72 @@ clients" section):
   by ``service.connect(client_id)``;
 * :class:`~repro.service.tickets.CommandTicket` /
   :class:`~repro.service.tickets.TicketState` /
-  :class:`~repro.service.tickets.FailureReason` — per-command lifecycle
-  (``PENDING -> COMMITTED -> EXECUTED | FAILED``), delivered output, and
-  the machine-readable failure cause;
+  :class:`~repro.service.tickets.FailureReason` /
+  :class:`~repro.service.tickets.ThrottleReason` — per-command lifecycle
+  (``PENDING -> COMMITTED -> EXECUTED | FAILED``, plus the backpressure
+  edge ``PENDING -> THROTTLED``), delivered output, machine-readable
+  failure/throttle causes and per-edge logical timestamps;
 * :class:`~repro.service.scheduler.RoundScheduler` — adaptive batching of
   ragged traffic with noop padding for idle machines and a
-  ``max_wait_ticks`` starvation override.
+  ``max_wait_ticks`` starvation override;
+* :class:`~repro.service.qos.QosPolicy` — per-session queue caps, shard
+  admission control and weighted-fair slot selection
+  (:class:`~repro.service.qos.WeightedFairSelection`), disabled by default
+  and bit-identical to no policy when disabled;
+* :mod:`repro.service.traffic` — deterministic open-loop workloads
+  (:class:`~repro.service.traffic.PoissonProcess`,
+  :class:`~repro.service.traffic.BurstyProcess`) and the
+  :class:`~repro.service.traffic.OpenLoopDriver` tick loop with
+  commit/execute latency percentiles.
 """
 
+from repro.service.qos import (
+    FifoSelection,
+    QosPolicy,
+    SelectionPolicy,
+    WeightedFairSelection,
+)
 from repro.service.scheduler import NOOP_CLIENT, RoundScheduler, ScheduledRound
 from repro.service.service import ClientSession, CSMService
 from repro.service.sharding import ShardedClientSession, ShardedCSMService, ShardedRound
-from repro.service.tickets import CommandTicket, FailureReason, TicketState
+from repro.service.tickets import (
+    CommandTicket,
+    FailureReason,
+    LogicalClock,
+    ThrottleReason,
+    TicketState,
+)
+from repro.service.traffic import (
+    ArrivalProcess,
+    BurstyProcess,
+    OpenLoopDriver,
+    PoissonProcess,
+    TrafficReport,
+    latency_percentiles,
+)
 
 __all__ = [
     "NOOP_CLIENT",
+    "ArrivalProcess",
+    "BurstyProcess",
     "CSMService",
     "ClientSession",
     "CommandTicket",
     "FailureReason",
+    "FifoSelection",
+    "LogicalClock",
+    "OpenLoopDriver",
+    "PoissonProcess",
+    "QosPolicy",
     "RoundScheduler",
     "ScheduledRound",
+    "SelectionPolicy",
     "ShardedCSMService",
     "ShardedClientSession",
     "ShardedRound",
+    "ThrottleReason",
     "TicketState",
+    "TrafficReport",
+    "WeightedFairSelection",
+    "latency_percentiles",
 ]

@@ -20,7 +20,17 @@ below-``min_fill`` traffic sits in the pool for that many consecutive
 :meth:`RoundScheduler.plan` ticks without a ``flush`` ever arriving, the
 scheduler flushes it anyway.  Without the override, a trickle of traffic
 that never reaches ``min_fill`` machines would leave its tickets ``PENDING``
-forever — a liveness hole, not a policy.
+forever — a liveness hole, not a policy.  The deferral age follows the
+*oldest still-pending command*: a tick that plans rounds but leaves
+commands behind (``max_batch_rounds`` exhausted) ages the leftovers rather
+than resetting their starvation clock.
+
+``selector`` opens the slot-filling choice to a
+:class:`~repro.service.qos.SelectionPolicy`: instead of the implicit
+FIFO-per-machine ``dequeue_next``, the scheduler offers the policy the
+machine's pending queue and dequeues whichever entry it picks — weighted
+fair shares across sessions, priority lanes.  With ``selector=None`` (the
+default) the original FIFO fast path runs unchanged, bit-identically.
 
 The scheduler only *plans* rounds; how they execute is the service's call.
 With ``CSMService(pipeline=True)`` each planned batch runs through the
@@ -39,6 +49,7 @@ import numpy as np
 from repro.consensus.command_pool import CommandPool, SubmittedCommand
 from repro.exceptions import ConfigurationError
 from repro.machine.interface import StateMachine
+from repro.service.qos import SelectionPolicy
 
 #: Client label attached to noop padding slots in the backend's round record.
 NOOP_CLIENT = "service:noop"
@@ -76,6 +87,7 @@ class RoundScheduler:
         max_batch_rounds: int = 8,
         min_fill: int = 1,
         max_wait_ticks: int | None = DEFAULT_MAX_WAIT_TICKS,
+        selector: SelectionPolicy | None = None,
     ) -> None:
         if max_batch_rounds < 1:
             raise ConfigurationError(
@@ -95,22 +107,27 @@ class RoundScheduler:
         self.max_batch_rounds = int(max_batch_rounds)
         self.min_fill = int(min_fill)
         self.max_wait_ticks = None if max_wait_ticks is None else int(max_wait_ticks)
+        self.selector = selector
         self._deferred_ticks = 0
         self._noop_row = [int(v) for v in machine.noop_command()]
 
     def plan(self, flush: bool = False) -> list[ScheduledRound]:
         """Dequeue up to ``max_batch_rounds`` rounds of pending commands.
 
-        Each planned round takes the FIFO-next command of every machine that
-        has one and pads the rest with the machine's noop command.  Planning
-        stops when the pool is empty, the batch is full, or the next round
-        would fall below ``min_fill`` real commands (unless ``flush``).
-        An empty tick returns ``[]`` without touching the pool.
+        Each planned round fills every machine that has a pending command —
+        with its FIFO-next entry, or whichever entry the ``selector`` picks
+        from the machine's queue — and pads the rest with the machine's noop
+        command.  Planning stops when the pool is empty, the batch is full,
+        or the next round would fall below ``min_fill`` real commands
+        (unless ``flush``).  An empty tick returns ``[]`` without touching
+        the pool.
 
         A tick that defers below-``min_fill`` traffic counts toward
-        ``max_wait_ticks``; once pending commands have been deferred that
+        ``max_wait_ticks``; once the oldest pending command has waited that
         many consecutive ticks, the tick proceeds as if flushed, so no
-        ticket waits forever for traffic that never comes.
+        ticket waits forever for traffic that never comes.  The deferral age
+        is only reset by a tick that fully drains the pool: leftovers from a
+        ``max_batch_rounds``-capped tick keep (and grow) their accrued age.
         """
         if self.pool.pending_machines() == 0:
             # An empty pool has nothing to starve; deferral age restarts
@@ -118,13 +135,14 @@ class RoundScheduler:
             self._deferred_ticks = 0
             return []
         if self.pool.pending_machines() < self.min_fill and not flush:
-            self._deferred_ticks += 1
             if (
-                self.max_wait_ticks is None
-                or self._deferred_ticks < self.max_wait_ticks
+                self.max_wait_ticks is not None
+                and self._deferred_ticks + 1 >= self.max_wait_ticks
             ):
+                flush = True  # stale traffic: override min_fill this tick
+            else:
+                self._deferred_ticks += 1
                 return []
-            flush = True  # stale traffic: override min_fill this tick
         rounds: list[ScheduledRound] = []
         while len(rounds) < self.max_batch_rounds:
             filled = self.pool.pending_machines()
@@ -136,7 +154,7 @@ class RoundScheduler:
             clients: list[str] = []
             entries: list[SubmittedCommand | None] = []
             for k in range(self.pool.num_machines):
-                entry = self.pool.dequeue_next(k)
+                entry = self._dequeue(k)
                 entries.append(entry)
                 if entry is None:
                     commands.append(self._noop_row)
@@ -151,6 +169,22 @@ class RoundScheduler:
                     entries=entries,
                 )
             )
-        if rounds:
+        # Deferral age follows the oldest still-pending command: only a tick
+        # that leaves the pool empty resets it.  A capped tick's leftovers
+        # have now waited one more tick (this was the regression: resetting
+        # here forgot their starvation age).
+        if self.pool.total_pending() == 0:
             self._deferred_ticks = 0
+        else:
+            self._deferred_ticks += 1
         return rounds
+
+    def _dequeue(self, machine_index: int) -> SubmittedCommand | None:
+        """One slot fill: FIFO fast path, or the selection policy's pick."""
+        if self.selector is None:
+            return self.pool.dequeue_next(machine_index)
+        candidates = self.pool.pending_entries(machine_index)
+        if not candidates:
+            return None
+        chosen = self.selector.select(machine_index, candidates)
+        return self.pool.dequeue_sequence(machine_index, chosen.sequence)

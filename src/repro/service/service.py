@@ -20,6 +20,16 @@ drives the backend's batched round pipeline.  Outputs come back through the
 ticket lifecycle — ``PENDING -> COMMITTED -> EXECUTED | FAILED`` — so a
 client observes exactly which of *its* commands executed with which output,
 rather than digging through a dict keyed by reused ``client:k`` labels.
+
+A :class:`~repro.service.qos.QosPolicy` layers production traffic policies on
+top: per-session queue caps and shard admission control turn overload into
+``THROTTLED`` tickets instead of unbounded pool growth, and a weighted-fair
+selection policy arbitrates machine slots across sessions.  With the policy
+absent (or default-constructed) every run is bit-identical to the plain
+service.  Every drive tick advances a :class:`~repro.service.tickets.\
+LogicalClock`, and every ticket lifecycle edge is stamped with the tick it
+happened on — the substrate for commit/execute latency percentiles under
+the open-loop traffic harness (:mod:`repro.service.traffic`).
 """
 
 from __future__ import annotations
@@ -31,8 +41,15 @@ import numpy as np
 from repro.consensus.command_pool import CommandPool, SequenceAllocator
 from repro.exceptions import ConfigurationError, ConsensusError, ServiceError
 from repro.rounds import ProtocolRound, RoundProtocol
+from repro.service.qos import QosPolicy
 from repro.service.scheduler import RoundScheduler, ScheduledRound
-from repro.service.tickets import CommandTicket, FailureReason, TicketState
+from repro.service.tickets import (
+    CommandTicket,
+    FailureReason,
+    LogicalClock,
+    ThrottleReason,
+    TicketState,
+)
 
 
 class ClientSession:
@@ -44,7 +61,13 @@ class ClientSession:
         self.tickets: list[CommandTicket] = []
 
     def submit(self, machine_index: int, command) -> CommandTicket:
-        """Queue one command for ``machine_index``; returns its ticket."""
+        """Queue one command for ``machine_index``; returns its ticket.
+
+        Under an active :class:`~repro.service.qos.QosPolicy` the ticket may
+        come back already ``THROTTLED`` (session cap or admission shed) —
+        check :attr:`~repro.service.tickets.CommandTicket.state` before
+        relying on eventual execution.
+        """
         ticket = self.service._submit(self.client_id, machine_index, command)
         self.tickets.append(ticket)
         return ticket
@@ -60,6 +83,14 @@ class ClientSession:
     def pending(self) -> list[CommandTicket]:
         """Tickets not yet in a terminal state."""
         return [ticket for ticket in self.tickets if not ticket.done]
+
+    def throttled(self) -> list[CommandTicket]:
+        """Tickets the QoS policy rejected at submit time."""
+        return [
+            ticket
+            for ticket in self.tickets
+            if ticket.state is TicketState.THROTTLED
+        ]
 
 
 class CSMService:
@@ -91,6 +122,16 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         batched path.  The recorded history and every ticket outcome are
         bit-identical either way; overlapping scheduler ticks simply spend
         less wall-clock in the execution phase.
+    qos:
+        Optional :class:`~repro.service.qos.QosPolicy`.  ``None`` (or a
+        default-constructed, disabled policy) reproduces today's behaviour
+        bit-identically; an enabled policy adds per-session queue caps,
+        admission shedding and the configured slot-selection policy.
+    clock:
+        Optional shared :class:`~repro.service.tickets.LogicalClock`.  When
+        omitted the service owns its own clock and advances it once per
+        :meth:`drive` tick; the sharded façade passes one shared clock to
+        every shard and advances it at the façade tick instead.
     """
 
     def __init__(
@@ -101,13 +142,22 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         max_wait_ticks: int | None = RoundScheduler.DEFAULT_MAX_WAIT_TICKS,
         sequence_source: SequenceAllocator | None = None,
         pipeline: bool = False,
+        qos: QosPolicy | None = None,
+        clock: LogicalClock | None = None,
     ) -> None:
         if not isinstance(backend, RoundProtocol):
             raise ConfigurationError(
                 f"backend {type(backend).__name__} does not implement RoundProtocol"
             )
+        if qos is not None and not isinstance(qos, QosPolicy):
+            raise ConfigurationError(
+                f"qos {type(qos).__name__} is not a QosPolicy"
+            )
         self.backend = backend
         self.pipeline = bool(pipeline)
+        self.qos = qos
+        self._owns_clock = clock is None
+        self.clock = clock if clock is not None else LogicalClock()
         self.pool = CommandPool(
             num_machines=backend.num_machines, sequence_source=sequence_source
         )
@@ -117,14 +167,23 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             max_batch_rounds=max_batch_rounds,
             min_fill=min_fill,
             max_wait_ticks=max_wait_ticks,
+            selector=qos.build_selector() if qos is not None else None,
         )
         self._sessions: dict[str, ClientSession] = {}
         self._tickets_by_sequence: dict[int, CommandTicket] = {}
+        self._open_by_client: dict[str, int] = {}
+        self.throttled_session = 0
+        self.throttled_admission = 0
 
     # -- client surface -----------------------------------------------------------------
     @property
     def num_machines(self) -> int:
         return self.backend.num_machines
+
+    @property
+    def command_dim(self) -> int:
+        """Width of one command row for the backend's machine."""
+        return self.backend.machine.command_dim
 
     @property
     def consensus_fast_path_disabled(self) -> int:
@@ -152,6 +211,35 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         """Commands queued but not yet scheduled into a round."""
         return self.pool.total_pending()
 
+    def open_tickets(self, client_id: str) -> int:
+        """Unresolved (non-terminal) tickets currently held by a session.
+
+        The quantity the per-session queue cap bounds: it counts accepted
+        tickets from submission until they reach ``EXECUTED`` or ``FAILED``
+        (throttled tickets never count — they were rejected at the door).
+        """
+        return self._open_by_client.get(str(client_id), 0)
+
+    def qos_report(self) -> dict[str, object]:
+        """Deterministic QoS/backpressure snapshot for this service.
+
+        ``pending`` is the ingress queue depth (the value admission control
+        watches), ``open_tickets`` the total unresolved tickets across
+        sessions, and the ``throttled_*`` counters classify every rejected
+        submit by cause.  Present (with zero counters and a disabled policy
+        view) even when no :class:`~repro.service.qos.QosPolicy` is set, so
+        report consumers need no branching.
+        """
+        policy = self.qos.describe() if self.qos is not None else QosPolicy().describe()
+        return {
+            "policy": policy,
+            "pending": self.pool.total_pending(),
+            "open_tickets": sum(self._open_by_client.values()),
+            "throttled_session": self.throttled_session,
+            "throttled_admission": self.throttled_admission,
+            "tick": self.clock.now,
+        }
+
     # -- scheduling / driving -----------------------------------------------------------
     def drive(self, flush: bool = False) -> list[ProtocolRound]:
         """One scheduler tick: plan adaptive batches and run them.
@@ -161,8 +249,13 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         into the tick move to ``COMMITTED`` and then ``EXECUTED`` (verified
         round) or ``FAILED`` (unverified round); if the backend raises
         mid-drive the scheduled tickets are failed before the error
-        propagates, so no ticket is silently lost.
+        propagates, so no ticket is silently lost.  Every call advances the
+        service's logical clock by one tick (when the service owns its
+        clock), including empty ticks — open-loop harnesses count ticks,
+        not rounds.
         """
+        if self._owns_clock:
+            self.clock.advance()
         planned = self.scheduler.plan(flush=flush)
         if not planned:
             return []
@@ -261,22 +354,99 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         return records
 
     # -- internals ----------------------------------------------------------------------
-    def _submit(self, client_id: str, machine_index: int, command) -> CommandTicket:
+    def _canonical_command(self, command) -> np.ndarray:
+        """Validate one command row against the backend machine's width."""
         row = np.asarray(command).reshape(-1)
         if row.shape[0] != self.backend.machine.command_dim:
             raise ConfigurationError(
                 f"command has dimension {row.shape[0]}, machine expects "
                 f"{self.backend.machine.command_dim}"
             )
+        return row
+
+    def _throttle_cause(self, client_id: str) -> tuple[str, ThrottleReason] | None:
+        """The QoS rejection this submit would hit, or ``None`` to accept."""
+        qos = self.qos
+        if qos is None:
+            return None
+        cap = qos.max_session_pending
+        if cap is not None and self._open_by_client.get(client_id, 0) >= cap:
+            return (
+                f"session {client_id!r} already holds {cap} unresolved "
+                "tickets (per-session queue cap); retry after they resolve",
+                ThrottleReason.SESSION_QUEUE_FULL,
+            )
+        watermark = qos.admission_watermark
+        if watermark is not None and self.pool.total_pending() >= watermark:
+            return (
+                f"ingress queue depth {self.pool.total_pending()} at the "
+                f"admission watermark {watermark}; shard is shedding load",
+                ThrottleReason.ADMISSION_SHED,
+            )
+        return None
+
+    def _make_throttled(
+        self,
+        client_id: str,
+        machine_index: int,
+        row: np.ndarray,
+        reason: str,
+        cause: ThrottleReason,
+    ) -> CommandTicket:
+        """Issue a ``THROTTLED`` ticket without touching the ingress pool.
+
+        The rejected submission still draws a sequence from the (possibly
+        shared) allocator, so tickets stay globally ordered by submission
+        even across throttled attempts.
+        """
+        assert self.pool.sequence_source is not None
+        ticket = CommandTicket(
+            client_id=str(client_id),
+            machine_index=int(machine_index),
+            command=tuple(int(v) for v in row),
+            sequence=self.pool.sequence_source.allocate(),
+            submitted_tick=self.clock.now,
+        )
+        ticket._throttle(reason, cause, tick=self.clock.now)
+        self._tickets_by_sequence[ticket.sequence] = ticket
+        if cause is ThrottleReason.SESSION_QUEUE_FULL:
+            self.throttled_session += 1
+        else:
+            self.throttled_admission += 1
+        return ticket
+
+    def _submit(self, client_id: str, machine_index: int, command) -> CommandTicket:
+        row = self._canonical_command(command)
+        throttle = self._throttle_cause(client_id)
+        if throttle is not None:
+            return self._make_throttled(client_id, machine_index, row, *throttle)
         entry = self.pool.submit(machine_index, client_id, row)
         ticket = CommandTicket(
             client_id=client_id,
             machine_index=entry.machine_index,
             command=entry.command,
             sequence=entry.sequence,
+            submitted_tick=self.clock.now,
         )
         self._tickets_by_sequence[entry.sequence] = ticket
+        self._open_by_client[client_id] = self._open_by_client.get(client_id, 0) + 1
         return ticket
+
+    def _release(self, ticket: CommandTicket) -> None:
+        """Give the session's queue-cap slot back once a ticket resolves."""
+        remaining = self._open_by_client.get(ticket.client_id, 0)
+        if remaining > 0:
+            self._open_by_client[ticket.client_id] = remaining - 1
+
+    def _finish_execute(self, ticket: CommandTicket, output: np.ndarray) -> None:
+        ticket._execute(output, tick=self.clock.now)
+        self._release(ticket)
+
+    def _finish_fail(
+        self, ticket: CommandTicket, reason: str, cause: FailureReason
+    ) -> None:
+        ticket._fail(reason, cause, tick=self.clock.now)
+        self._release(ticket)
 
     def _resolve_round(self, planned: ScheduledRound, record: ProtocolRound) -> None:
         for k, entry in enumerate(planned.entries):
@@ -285,7 +455,8 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             ticket = self._tickets_by_sequence[entry.sequence]
             decided = tuple(int(v) for v in np.asarray(record.commands[k]))
             if decided != ticket.command:
-                ticket._fail(
+                self._finish_fail(
+                    ticket,
                     f"consensus decided {decided} for machine {k}, not the "
                     f"scheduled command {ticket.command}",
                     FailureReason.CONSENSUS_MISMATCH,
@@ -294,11 +465,12 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
                     f"round {record.round_index} decided a different command for "
                     f"machine {k} than the scheduler submitted"
                 )
-            ticket._commit(record.round_index)
+            ticket._commit(record.round_index, tick=self.clock.now)
             if record.correct:
-                ticket._execute(record.result.outputs[k])
+                self._finish_execute(ticket, record.result.outputs[k])
             else:
-                ticket._fail(
+                self._finish_fail(
+                    ticket,
                     f"round {record.round_index} failed verification; output "
                     "withheld",
                     FailureReason.VERIFICATION_FAILED,
@@ -315,4 +487,4 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
                 continue
             ticket = self._tickets_by_sequence[entry.sequence]
             if not ticket.done:
-                ticket._fail(reason, failure_reason)
+                self._finish_fail(ticket, reason, failure_reason)

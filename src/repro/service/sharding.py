@@ -47,9 +47,10 @@ import numpy as np
 from repro.consensus.command_pool import SequenceAllocator
 from repro.exceptions import ConfigurationError, ServiceError
 from repro.rounds import ProtocolRound, RoundProtocol
+from repro.service.qos import QosPolicy
 from repro.service.scheduler import RoundScheduler
 from repro.service.service import ClientSession, CSMService
-from repro.service.tickets import CommandTicket
+from repro.service.tickets import CommandTicket, LogicalClock, ThrottleReason
 
 __all__ = [
     "ShardedClientSession",
@@ -122,6 +123,13 @@ class ShardedCSMService:
         every shard tick then runs through its backend's speculative
         pipelined path (``run_rounds_pipelined``), with per-shard histories
         bit-identical to the batched drive.
+    qos:
+        Optional :class:`~repro.service.qos.QosPolicy`, forwarded to every
+        shard.  ``admission_watermark`` and the selection policy apply
+        per shard (each shard has its own ingress pool and scheduler);
+        ``max_session_pending`` bounds a session's unresolved tickets
+        *across* shards — the façade checks the global count before routing,
+        so a session cannot multiply its cap by spreading over shards.
     """
 
     def __init__(
@@ -132,6 +140,7 @@ class ShardedCSMService:
         max_wait_ticks: int | None = RoundScheduler.DEFAULT_MAX_WAIT_TICKS,
         tick_mode: str = "all",
         pipeline: bool = False,
+        qos: QosPolicy | None = None,
     ) -> None:
         backends = list(backends)
         if not backends:
@@ -146,9 +155,18 @@ class ShardedCSMService:
                     f"shard backend {type(backend).__name__} does not "
                     "implement RoundProtocol"
                 )
+        if qos is not None and not isinstance(qos, QosPolicy):
+            raise ConfigurationError(
+                f"qos {type(qos).__name__} is not a QosPolicy"
+            )
         self.tick_mode = tick_mode
         self.pipeline = bool(pipeline)
+        self.qos = qos
         self.sequence_source = SequenceAllocator()
+        # One logical clock across the shards (like the sequence allocator):
+        # the façade advances it once per façade tick, so per-ticket latencies
+        # are measured in façade ticks and comparable across shards.
+        self.clock = LogicalClock()
         self.shards: list[CSMService] = [
             CSMService(
                 backend,
@@ -159,6 +177,8 @@ class ShardedCSMService:
                 max_wait_ticks=max_wait_ticks,
                 sequence_source=self.sequence_source,
                 pipeline=self.pipeline,
+                qos=qos,
+                clock=self.clock,
             )
             for backend in backends
         ]
@@ -244,6 +264,40 @@ class ShardedCSMService:
         """Commands queued (any shard) but not yet scheduled into a round."""
         return sum(shard.pending_commands() for shard in self.shards)
 
+    @property
+    def command_dim(self) -> int:
+        """Width of one command row (identical across shard machines)."""
+        return self.shards[0].command_dim
+
+    def open_tickets(self, client_id: str) -> int:
+        """A session's unresolved tickets summed across every shard —
+        the quantity the façade's global per-session queue cap bounds."""
+        return sum(shard.open_tickets(client_id) for shard in self.shards)
+
+    def qos_report(self) -> dict[str, object]:
+        """Merged QoS snapshot: façade totals plus the per-shard reports.
+
+        ``shards[s]`` is shard ``s``'s own
+        :meth:`~repro.service.service.CSMService.qos_report` (its pending
+        depth is what that shard's admission watermark watches); the
+        top-level counters are the sums the client surface observes.
+        """
+        shard_reports = [shard.qos_report() for shard in self.shards]
+        policy = self.qos.describe() if self.qos is not None else QosPolicy().describe()
+        return {
+            "policy": policy,
+            "pending": sum(int(r["pending"]) for r in shard_reports),
+            "open_tickets": sum(int(r["open_tickets"]) for r in shard_reports),
+            "throttled_session": sum(
+                int(r["throttled_session"]) for r in shard_reports
+            ),
+            "throttled_admission": sum(
+                int(r["throttled_admission"]) for r in shard_reports
+            ),
+            "tick": self.clock.now,
+            "shards": shard_reports,
+        }
+
     # -- scheduling / driving -----------------------------------------------------------
     def drive(self, flush: bool = False) -> list[ProtocolRound]:
         """One façade tick: advance the shards and merge their new rounds.
@@ -253,8 +307,11 @@ class ShardedCSMService:
         under ``"round_robin"`` exactly one shard is driven and the cursor
         advances.  Returns the tick's new rounds as :class:`ShardedRound`
         records carrying their global indices, in the order they were
-        appended to the merged history.
+        appended to the merged history.  Every façade tick advances the
+        shared logical clock exactly once (the shards never advance it —
+        they don't own it), so latencies are measured in façade ticks.
         """
+        self.clock.advance()
         if self.tick_mode == "round_robin":
             shard_order = [self._next_shard]
             self._next_shard = (self._next_shard + 1) % len(self.shards)
@@ -380,7 +437,27 @@ measured_throughput` — failed rounds contribute ``0.0``, degenerate
     # -- internals ----------------------------------------------------------------------
     def _submit(self, client_id: str, machine_index: int, command) -> CommandTicket:
         shard_index, local_index = self.shard_of(machine_index)
-        ticket = self.shards[shard_index]._submit(client_id, local_index, command)
+        shard = self.shards[shard_index]
+        # The per-session queue cap is global: a session's unresolved tickets
+        # are summed across shards before routing, so spreading submissions
+        # over shards cannot multiply the cap.  (The shard re-checks its own
+        # local count, which is <= the global sum, so it never double-fires.)
+        if self.qos is not None and self.qos.max_session_pending is not None:
+            cap = self.qos.max_session_pending
+            if self.open_tickets(client_id) >= cap:
+                row = shard._canonical_command(command)
+                ticket = shard._make_throttled(
+                    client_id,
+                    local_index,
+                    row,
+                    f"session {client_id!r} already holds {cap} unresolved "
+                    "tickets across shards (per-session queue cap); retry "
+                    "after they resolve",
+                    ThrottleReason.SESSION_QUEUE_FULL,
+                )
+                ticket.machine_index = int(machine_index)
+                return ticket
+        ticket = shard._submit(client_id, local_index, command)
         # The shard pool sees its local slot; the client-facing ticket
         # reports the global machine index it submitted against.
         ticket.machine_index = int(machine_index)

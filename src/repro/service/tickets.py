@@ -15,12 +15,24 @@ explicit, per-command lifecycle:
 ``FAILED``
     the round failed verification (no output is ever delivered from an
     unverified round), the backend raised mid-drive, or consensus decided a
-    different command than the scheduler placed.
+    different command than the scheduler placed;
+``THROTTLED``
+    the service's :class:`~repro.service.qos.QosPolicy` rejected the submit
+    before it reached the pool (per-session queue cap, or shard admission
+    control) — :attr:`CommandTicket.throttle_reason` carries the
+    machine-readable cause, and the client should retry later.
 
 The only legal transitions are ``PENDING -> COMMITTED``,
-``COMMITTED -> EXECUTED | FAILED`` and the scheduler-abort edge
-``PENDING -> FAILED``; anything else raises
+``COMMITTED -> EXECUTED | FAILED`` and the two submit-side edges
+``PENDING -> FAILED`` (scheduler abort) and ``PENDING -> THROTTLED``
+(backpressure); anything else raises
 :class:`~repro.exceptions.ServiceError`.
+
+Every lifecycle edge is stamped with a *logical* timestamp — the service's
+:class:`LogicalClock` tick at which the edge happened
+(:attr:`CommandTicket.submitted_tick`, :attr:`~CommandTicket.committed_tick`,
+:attr:`~CommandTicket.resolved_tick`) — so commit/execute latency can be
+measured in scheduler ticks without any wall-clock read, deterministically.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ class TicketState(enum.Enum):
     COMMITTED = "committed"
     EXECUTED = "executed"
     FAILED = "failed"
+    THROTTLED = "throttled"
 
 
 class FailureReason(enum.Enum):
@@ -65,12 +78,59 @@ class FailureReason(enum.Enum):
     RESOLUTION_ABORTED = "resolution-aborted"
 
 
+class ThrottleReason(enum.Enum):
+    """Machine-readable cause attached to every ``-> THROTTLED`` transition.
+
+    The :class:`FailureReason` counterpart for the backpressure edge: it
+    classifies *why* the QoS policy rejected the submit, so clients can
+    branch (back off and retry versus route elsewhere) without parsing the
+    :attr:`CommandTicket.error` prose.
+    """
+
+    #: The submitting session already has ``max_session_pending`` unresolved
+    #: tickets; capacity frees as those tickets resolve.
+    SESSION_QUEUE_FULL = "session-queue-full"
+    #: The shard's ingress queue depth crossed the admission watermark; the
+    #: shard is shedding load until the scheduler drains the backlog.
+    ADMISSION_SHED = "admission-shed"
+
+
 _LEGAL_TRANSITIONS: dict[TicketState, frozenset[TicketState]] = {
-    TicketState.PENDING: frozenset({TicketState.COMMITTED, TicketState.FAILED}),
+    TicketState.PENDING: frozenset(
+        {TicketState.COMMITTED, TicketState.FAILED, TicketState.THROTTLED}
+    ),
     TicketState.COMMITTED: frozenset({TicketState.EXECUTED, TicketState.FAILED}),
     TicketState.EXECUTED: frozenset(),
     TicketState.FAILED: frozenset(),
+    TicketState.THROTTLED: frozenset(),
 }
+
+
+class LogicalClock:
+    """A monotone tick counter: the service's deterministic notion of time.
+
+    One :meth:`advance` per service ``drive()`` tick.  Ticket lifecycle
+    edges are stamped with :attr:`now`, so latency is measured in scheduler
+    ticks — a pure function of the submission trace and the configuration,
+    bit-reproducible across machines (no wall-clock read, DET002-clean).
+
+    The sharded façade shares one clock across its per-shard services (the
+    same way the :class:`~repro.consensus.command_pool.SequenceAllocator`
+    is shared), so per-ticket latencies are comparable across shards.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """The current tick (number of completed :meth:`advance` calls)."""
+        return self._now
+
+    def advance(self) -> int:
+        """Start the next tick; returns the new :attr:`now`."""
+        self._now += 1
+        return self._now
 
 
 @dataclass
@@ -95,10 +155,20 @@ class CommandTicket:
     output:
         The delivered output vector (set only when ``EXECUTED``).
     error:
-        Human-readable failure reason (set only when ``FAILED``).
+        Human-readable failure/throttle reason (set when ``FAILED`` or
+        ``THROTTLED``).
     failure_reason:
         Machine-readable :class:`FailureReason` (set on every ``-> FAILED``
         edge, ``None`` otherwise).
+    throttle_reason:
+        Machine-readable :class:`ThrottleReason` (set on every
+        ``-> THROTTLED`` edge, ``None`` otherwise).
+    submitted_tick:
+        Logical tick at which the command was submitted.
+    committed_tick:
+        Logical tick at which consensus committed the command.
+    resolved_tick:
+        Logical tick at which the ticket reached a terminal state.
     state_history:
         Every state the ticket has been in, in order (starts ``PENDING``).
     """
@@ -112,6 +182,10 @@ class CommandTicket:
     output: np.ndarray | None = None
     error: str | None = None
     failure_reason: FailureReason | None = None
+    throttle_reason: ThrottleReason | None = None
+    submitted_tick: int | None = None
+    committed_tick: int | None = None
+    resolved_tick: int | None = None
     state_history: list[TicketState] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -122,7 +196,30 @@ class CommandTicket:
     @property
     def done(self) -> bool:
         """True once the ticket reached a terminal state."""
-        return self.state in (TicketState.EXECUTED, TicketState.FAILED)
+        return self.state in (
+            TicketState.EXECUTED,
+            TicketState.FAILED,
+            TicketState.THROTTLED,
+        )
+
+    @property
+    def commit_latency(self) -> int | None:
+        """Logical ticks from submission to consensus commit (None until then)."""
+        if self.submitted_tick is None or self.committed_tick is None:
+            return None
+        return self.committed_tick - self.submitted_tick
+
+    @property
+    def execute_latency(self) -> int | None:
+        """Logical ticks from submission to delivered output (None unless
+        ``EXECUTED`` with both edges stamped)."""
+        if (
+            self.state is not TicketState.EXECUTED
+            or self.submitted_tick is None
+            or self.resolved_tick is None
+        ):
+            return None
+        return self.resolved_tick - self.submitted_tick
 
     def result(self) -> np.ndarray:
         """A copy of the delivered output; raises unless ``EXECUTED``.
@@ -147,15 +244,34 @@ class CommandTicket:
         self.state = new_state
         self.state_history.append(new_state)
 
-    def _commit(self, round_index: int) -> None:
+    def _commit(self, round_index: int, tick: int | None = None) -> None:
         self._advance(TicketState.COMMITTED)
         self.round_index = int(round_index)
+        self.committed_tick = tick
 
-    def _execute(self, output: np.ndarray) -> None:
+    def _execute(self, output: np.ndarray, tick: int | None = None) -> None:
         self._advance(TicketState.EXECUTED)
         self.output = np.asarray(output).copy()
+        self.resolved_tick = tick
 
-    def _fail(self, reason: str, failure_reason: FailureReason) -> None:
+    def _fail(
+        self,
+        reason: str,
+        failure_reason: FailureReason,
+        tick: int | None = None,
+    ) -> None:
         self._advance(TicketState.FAILED)
         self.error = reason
         self.failure_reason = failure_reason
+        self.resolved_tick = tick
+
+    def _throttle(
+        self,
+        reason: str,
+        throttle_reason: ThrottleReason,
+        tick: int | None = None,
+    ) -> None:
+        self._advance(TicketState.THROTTLED)
+        self.error = reason
+        self.throttle_reason = throttle_reason
+        self.resolved_tick = tick

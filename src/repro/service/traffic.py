@@ -1,0 +1,359 @@
+"""Deterministic open-loop workload generation for the serving layer.
+
+The scaling experiments drive the service with *closed-loop* traffic — every
+tick submits exactly what the harness decides, in lockstep with the service —
+which can never exhibit the phenomena QoS policies exist for: queues growing
+faster than rounds drain them, sessions competing for slots, overload.  This
+module is the open-loop counterpart: arrivals are sampled from a stochastic
+process *independent of service state* (the defining property of an open
+loop), submitted into sessions, and the service is driven one scheduler tick
+per arrival tick, whether or not it kept up.
+
+Everything is deterministic in the replay sense that the rest of the
+repository guarantees: arrival counts and command payloads are drawn from
+two child streams forked off one caller-supplied generator via
+:func:`repro.rng.derived_stream`, latency is measured in *logical* scheduler
+ticks (no wall-clock read anywhere), and the same seed replays the same
+submission trace, the same throttle decisions and the same percentiles
+bit-for-bit on any machine.
+
+* :class:`PoissonProcess` — i.i.d. Poisson(``rate``) arrivals per session
+  per tick, the classic open-loop model.
+* :class:`BurstyProcess` — per-session two-state (on/off) Markov-modulated
+  Poisson arrivals: bursts of ``on_rate`` traffic separated by quiet
+  periods, the workload that exercises admission control and queue caps.
+* :class:`OpenLoopDriver` — owns the sessions, the tick loop and the
+  round-robin machine targeting; :meth:`OpenLoopDriver.run` returns a
+  :class:`TrafficReport` with p50/p90/p99 commit/execute latency (in
+  ticks), per-session delivery counts (the fairness evidence) and the
+  service's merged QoS counters (the backpressure evidence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import default_stream, derived_stream
+from repro.service.tickets import CommandTicket, TicketState
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyProcess",
+    "OpenLoopDriver",
+    "PoissonProcess",
+    "TrafficReport",
+    "latency_percentiles",
+]
+
+
+def latency_percentiles(
+    values: Iterable[int], percentiles: Sequence[int] = (50, 90, 99)
+) -> dict[str, float | None]:
+    """Nearest-rank percentiles of a latency sample, keyed ``"p50"`` etc.
+
+    Nearest-rank (the value at index ``ceil(p/100 * n) - 1`` of the sorted
+    sample) rather than interpolation: every reported percentile is a
+    latency that actually occurred, and the computation is integer-exact —
+    no float interpolation to drift across numpy versions.  An empty sample
+    reports ``None`` for every percentile (JSON ``null``), never a fake 0.
+    """
+    ordered = sorted(int(v) for v in values)
+    out: dict[str, float | None] = {}
+    for p in percentiles:
+        if not 0 < int(p) <= 100:
+            raise ConfigurationError(f"percentile must be in (0, 100], got {p}")
+        if not ordered:
+            out[f"p{int(p)}"] = None
+        else:
+            rank = max(1, math.ceil(int(p) / 100 * len(ordered)))
+            out[f"p{int(p)}"] = float(ordered[rank - 1])
+    return out
+
+
+class ArrivalProcess:
+    """Per-tick arrival counts for ``num_sessions`` open-loop sessions.
+
+    :meth:`sample` returns an integer array of shape ``(num_sessions,)`` —
+    how many commands each session submits this tick — drawing only from
+    the generator it is handed (processes own no streams; the driver does).
+    Implementations may keep per-session state across ticks (burst phases)
+    but must be deterministic given the generator's stream.
+    """
+
+    def sample(self, rng: np.random.Generator, num_sessions: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """I.i.d. Poisson arrivals: each session submits Poisson(``rate``)
+    commands per tick, independent across sessions and ticks.
+
+    ``rate`` is the per-session mean; the aggregate offered load is
+    ``rate * num_sessions`` commands per tick, to be compared against the
+    service's drain capacity of (roughly) ``max_batch_rounds * K`` slots
+    per tick when judging whether a configuration saturates.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not rate > 0:
+            raise ConfigurationError(
+                f"Poisson arrival rate must be positive, got {rate}"
+            )
+        self.rate = float(rate)
+
+    def sample(self, rng: np.random.Generator, num_sessions: int) -> np.ndarray:
+        return rng.poisson(self.rate, size=int(num_sessions))
+
+
+class BurstyProcess(ArrivalProcess):
+    """Markov-modulated Poisson arrivals: per-session on/off bursts.
+
+    Each session carries a two-state phase.  While *on* it submits
+    Poisson(``on_rate``) commands per tick, while *off* Poisson(``off_rate``)
+    (default 0 — silent).  After each tick's draw the phase flips with
+    probability ``p_on_off`` (on -> off) or ``p_off_on`` (off -> on),
+    independently per session, so expected burst length is ``1/p_on_off``
+    ticks.  All sessions start *off* unless ``start_on`` — a synchronised
+    off start makes the first burst arrival itself part of the replayable
+    randomness rather than a modelling choice.
+
+    The phase vector is sized on first :meth:`sample` and pinned: one
+    process instance drives one session population (a second driver must
+    build its own process).
+    """
+
+    def __init__(
+        self,
+        on_rate: float,
+        off_rate: float = 0.0,
+        p_on_off: float = 0.2,
+        p_off_on: float = 0.2,
+        start_on: bool = False,
+    ) -> None:
+        if not on_rate > 0:
+            raise ConfigurationError(
+                f"bursty on_rate must be positive, got {on_rate}"
+            )
+        if off_rate < 0:
+            raise ConfigurationError(
+                f"bursty off_rate must be >= 0, got {off_rate}"
+            )
+        for name, prob in (("p_on_off", p_on_off), ("p_off_on", p_off_on)):
+            if not 0 < prob <= 1:
+                raise ConfigurationError(
+                    f"{name} must be in (0, 1], got {prob}"
+                )
+        self.on_rate = float(on_rate)
+        self.off_rate = float(off_rate)
+        self.p_on_off = float(p_on_off)
+        self.p_off_on = float(p_off_on)
+        self.start_on = bool(start_on)
+        self._on: np.ndarray | None = None
+
+    def sample(self, rng: np.random.Generator, num_sessions: int) -> np.ndarray:
+        num_sessions = int(num_sessions)
+        if self._on is None:
+            self._on = np.full(num_sessions, self.start_on, dtype=bool)
+        elif self._on.shape[0] != num_sessions:
+            raise ConfigurationError(
+                f"bursty process was started with {self._on.shape[0]} "
+                f"sessions, cannot switch to {num_sessions}"
+            )
+        rates = np.where(self._on, self.on_rate, self.off_rate)
+        arrivals = rng.poisson(rates)
+        flips = rng.random(num_sessions)
+        flip = np.where(self._on, flips < self.p_on_off, flips < self.p_off_on)
+        self._on = self._on ^ flip
+        return arrivals
+
+
+@dataclass
+class TrafficReport:
+    """What an open-loop run did to the service, in replayable numbers.
+
+    Latencies are logical scheduler ticks (submit tick to commit/delivery
+    tick), summarised as nearest-rank percentiles; ``None`` percentiles mean
+    no ticket reached that edge.  ``max_pending`` is the deepest the ingress
+    queues ever got (sampled after each tick's submissions, before its
+    drive) — the number a bounded-queue claim is checked against.
+    ``executed_by_session`` is the per-session delivered-command count, the
+    direct evidence for weighted-fair slot shares.
+    """
+
+    ticks: int
+    num_sessions: int
+    submitted: int
+    executed: int
+    failed: int
+    pending: int
+    throttled: int
+    throttled_session: int
+    throttled_admission: int
+    max_pending: int
+    commit_latency: dict[str, float | None]
+    execute_latency: dict[str, float | None]
+    executed_by_session: dict[str, int]
+    qos: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly flat view (for experiment rows and bench artifacts)."""
+        return {
+            "ticks": self.ticks,
+            "num_sessions": self.num_sessions,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "failed": self.failed,
+            "pending": self.pending,
+            "throttled": self.throttled,
+            "throttled_session": self.throttled_session,
+            "throttled_admission": self.throttled_admission,
+            "max_pending": self.max_pending,
+            "commit_latency": dict(self.commit_latency),
+            "execute_latency": dict(self.execute_latency),
+            "executed_by_session": dict(self.executed_by_session),
+            "qos": dict(self.qos),
+        }
+
+
+class OpenLoopDriver:
+    """Drives open-loop traffic from ``num_sessions`` sessions into a service.
+
+    Works against both :class:`~repro.service.service.CSMService` and the
+    sharded façade (anything with the ``connect / drive / drain /
+    num_machines / command_dim / pending_commands / qos_report`` surface).
+
+    Each :meth:`step` samples one tick of arrivals from the process,
+    submits them (session ``s`` targets machines round-robin starting at
+    ``s % K``, so hundreds of sessions spread evenly over the machines),
+    then drives the service exactly one scheduler tick — whether or not the
+    backlog grew.  Commands are ``integers(command_low, command_high)``
+    rows drawn from a dedicated child stream, matching the experiment
+    harnesses' command distribution.
+
+    Determinism: the constructor forks exactly two child streams off the
+    caller's generator (arrivals first, then commands), so a run is a pure
+    function of ``(service configuration, process, num_sessions, seed)``.
+    """
+
+    def __init__(
+        self,
+        service,
+        process: ArrivalProcess,
+        num_sessions: int,
+        rng: np.random.Generator | None = None,
+        session_prefix: str = "traffic",
+        command_low: int = 1,
+        command_high: int = 1000,
+    ) -> None:
+        if num_sessions < 1:
+            raise ConfigurationError(
+                f"need at least one session, got {num_sessions}"
+            )
+        if not isinstance(process, ArrivalProcess):
+            raise ConfigurationError(
+                f"process {type(process).__name__} is not an ArrivalProcess"
+            )
+        if not command_low < command_high:
+            raise ConfigurationError(
+                f"command value range [{command_low}, {command_high}) is empty"
+            )
+        self.service = service
+        self.process = process
+        self.num_sessions = int(num_sessions)
+        self.command_low = int(command_low)
+        self.command_high = int(command_high)
+        base = rng if rng is not None else default_stream()
+        self._arrival_rng = derived_stream(base)
+        self._command_rng = derived_stream(base)
+        self.sessions = [
+            service.connect(f"{session_prefix}:{s}")
+            for s in range(self.num_sessions)
+        ]
+        self._cursors = [
+            s % service.num_machines for s in range(self.num_sessions)
+        ]
+        self.ticks_run = 0
+        self.max_pending = 0
+
+    def step(self) -> None:
+        """One open-loop tick: sample arrivals, submit, drive once."""
+        counts = self.process.sample(self._arrival_rng, self.num_sessions)
+        dim = self.service.command_dim
+        for s in range(self.num_sessions):
+            for _ in range(int(counts[s])):
+                machine = self._cursors[s]
+                self._cursors[s] = (machine + 1) % self.service.num_machines
+                command = self._command_rng.integers(
+                    self.command_low, self.command_high, size=dim
+                )
+                self.sessions[s].submit(machine, command)
+        # Peak backlog is visible here — after the tick's submissions, before
+        # the scheduler drains any of them.
+        self.max_pending = max(self.max_pending, self.service.pending_commands())
+        self.service.drive()
+        self.ticks_run += 1
+
+    def run(self, ticks: int, drain: bool = True) -> TrafficReport:
+        """Run ``ticks`` open-loop ticks (then drain by default) and report.
+
+        ``drain=False`` leaves the backlog in place — the shape overload
+        tests want, where ``report()`` counts still-pending tickets.
+        """
+        if ticks < 1:
+            raise ConfigurationError(f"need at least one tick, got {ticks}")
+        for _ in range(int(ticks)):
+            self.step()
+        if drain:
+            self.service.drain()
+        return self.report()
+
+    def _tickets(self) -> list[CommandTicket]:
+        return [
+            ticket for session in self.sessions for ticket in session.tickets
+        ]
+
+    def executed_by_session(self) -> dict[str, int]:
+        """Delivered-command count per session (fairness evidence)."""
+        return {
+            session.client_id: sum(
+                1
+                for ticket in session.tickets
+                if ticket.state is TicketState.EXECUTED
+            )
+            for session in self.sessions
+        }
+
+    def report(self) -> TrafficReport:
+        """Snapshot the run into a :class:`TrafficReport` (pure read)."""
+        tickets = self._tickets()
+        executed = [t for t in tickets if t.state is TicketState.EXECUTED]
+        throttled = [t for t in tickets if t.state is TicketState.THROTTLED]
+        failed = [t for t in tickets if t.state is TicketState.FAILED]
+        commit_samples = [
+            t.commit_latency for t in tickets if t.commit_latency is not None
+        ]
+        execute_samples = [
+            t.execute_latency for t in executed if t.execute_latency is not None
+        ]
+        qos: Mapping[str, object] = self.service.qos_report()
+        return TrafficReport(
+            ticks=self.ticks_run,
+            num_sessions=self.num_sessions,
+            submitted=len(tickets),
+            executed=len(executed),
+            failed=len(failed),
+            pending=sum(1 for t in tickets if not t.done),
+            throttled=len(throttled),
+            throttled_session=int(qos["throttled_session"]),  # type: ignore[call-overload]
+            throttled_admission=int(qos["throttled_admission"]),  # type: ignore[call-overload]
+            max_pending=self.max_pending,
+            commit_latency=latency_percentiles(commit_samples),
+            execute_latency=latency_percentiles(execute_samples),
+            executed_by_session=self.executed_by_session(),
+            qos=dict(qos),
+        )

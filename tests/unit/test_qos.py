@@ -1,0 +1,362 @@
+"""Unit tests for the QoS subsystem: policy config, selection, backpressure.
+
+Covers :class:`~repro.service.qos.QosPolicy` validation and the
+enabled/disabled contract, the stride arithmetic of
+:class:`~repro.service.qos.WeightedFairSelection` (weight shares, strict
+priority lanes, sequence tie-breaks, late-joiner pass initialisation),
+per-session queue caps and admission shedding through
+:class:`~repro.service.service.CSMService`, the global cap across
+:class:`~repro.service.sharding.ShardedCSMService` shards, and the merged
+``qos_report`` counters the traffic reports are built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.consensus.command_pool import SubmittedCommand
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.exceptions import ConfigurationError
+from repro.machine.library import bank_account_machine
+from repro.service import (
+    CSMService,
+    FifoSelection,
+    QosPolicy,
+    ShardedCSMService,
+    ThrottleReason,
+    TicketState,
+    WeightedFairSelection,
+)
+
+
+def _csm_protocol(field, num_machines=3, num_nodes=6, seed=7):
+    machine = bank_account_machine(field, num_accounts=2)
+    config = CSMConfig(
+        field=field,
+        num_nodes=num_nodes,
+        num_machines=num_machines,
+        degree=machine.degree,
+        num_faults=0,
+    )
+    return CSMProtocol(config, machine, rng=np.random.default_rng(seed))
+
+
+def _entry(client_id, sequence, machine_index=0):
+    return SubmittedCommand(
+        machine_index=machine_index,
+        client_id=client_id,
+        command=(1, 2),
+        sequence=sequence,
+    )
+
+
+class TestQosPolicyConfig:
+    def test_default_policy_is_disabled_and_fifo(self):
+        policy = QosPolicy()
+        assert not policy.enabled
+        assert policy.build_selector() is None
+        assert policy.describe() == {
+            "enabled": False,
+            "max_session_pending": None,
+            "admission_watermark": None,
+            "selection": "fifo",
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_session_pending": 4},
+            {"admission_watermark": 10},
+            {"selection": "weighted_fair"},
+        ],
+    )
+    def test_any_knob_enables_the_policy(self, kwargs):
+        assert QosPolicy(**kwargs).enabled
+
+    def test_weighted_fair_builds_a_configured_selector(self):
+        policy = QosPolicy(
+            selection="weighted_fair",
+            session_weights={"a": 3},
+            default_weight=2,
+            session_priorities={"b": 1},
+            default_priority=0,
+        )
+        selector = policy.build_selector()
+        assert isinstance(selector, WeightedFairSelection)
+        assert selector.weight_of("a") == 3
+        assert selector.weight_of("unknown") == 2
+        assert selector.priority_of("b") == 1
+        assert selector.priority_of("unknown") == 0
+        # One selector per scheduler: stride passes must not be shared.
+        assert policy.build_selector() is not selector
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"selection": "lifo"},
+            {"max_session_pending": 0},
+            {"admission_watermark": 0},
+            {"default_weight": 0},
+            {"session_weights": {"a": 0}},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QosPolicy(**kwargs)
+
+    def test_selector_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFairSelection(weights={"a": 0})
+        with pytest.raises(ConfigurationError):
+            WeightedFairSelection(default_weight=-1)
+
+
+class TestFifoSelection:
+    def test_returns_queue_head(self):
+        candidates = [_entry("b", 5), _entry("a", 6), _entry("c", 7)]
+        assert FifoSelection().select(0, candidates) is candidates[0]
+
+
+def _drain_with(selector, entries):
+    """Repeatedly select-and-remove until the queue empties; return client order."""
+    queue = list(entries)
+    order = []
+    while queue:
+        chosen = selector.select(0, queue)
+        queue.remove(chosen)
+        order.append(chosen.client_id)
+    return order
+
+
+class TestWeightedFairSelection:
+    def test_weight_two_gets_twice_the_slots(self):
+        selector = WeightedFairSelection(weights={"a": 2, "b": 1})
+        entries = [
+            _entry("a" if s % 2 == 0 else "b", s) for s in range(18)
+        ]
+        order = _drain_with(selector, entries)
+        first_nine = order[:9]
+        assert first_nine.count("a") == 6
+        assert first_nine.count("b") == 3
+
+    def test_strict_priority_lane_always_wins(self):
+        selector = WeightedFairSelection(priorities={"vip": 1})
+        entries = [_entry("bulk", s) for s in range(4)] + [
+            _entry("vip", s) for s in range(4, 7)
+        ]
+        order = _drain_with(selector, entries)
+        # Every vip entry drains before any bulk entry, despite arriving later.
+        assert order == ["vip"] * 3 + ["bulk"] * 4
+
+    def test_ties_break_on_older_sequence(self):
+        selector = WeightedFairSelection()
+        first = selector.select(0, [_entry("late", 9), _entry("early", 3)])
+        assert first.client_id == "early"
+
+    def test_late_joiner_enters_at_the_pass_floor(self):
+        selector = WeightedFairSelection()
+        solo = [_entry("a", s) for s in range(6)]
+        for _ in range(6):
+            chosen = selector.select(0, solo)
+            solo.remove(chosen)
+        # "b" joins after "a" accrued 6 slots of pass: it must neither wait
+        # for "a"'s pass to be caught up to (no monopoly for b) nor be
+        # starved; from here the two alternate.
+        mixed = [_entry("a", s) for s in range(6, 12)] + [
+            _entry("b", s) for s in range(12, 18)
+        ]
+        order = _drain_with(selector, mixed)
+        assert sorted(order[:2]) == ["a", "b"]
+        assert order[:6].count("a") == 3
+        assert order[:6].count("b") == 3
+
+    def test_fifo_preserved_within_a_session(self):
+        selector = WeightedFairSelection(weights={"a": 2, "b": 1})
+        entries = [_entry("a", s) for s in range(5)] + [
+            _entry("b", s) for s in range(5, 10)
+        ]
+        queue = list(entries)
+        sequences = {"a": [], "b": []}
+        while queue:
+            chosen = selector.select(0, queue)
+            queue.remove(chosen)
+            sequences[chosen.client_id].append(chosen.sequence)
+        assert sequences["a"] == sorted(sequences["a"])
+        assert sequences["b"] == sorted(sequences["b"])
+
+
+class TestSessionQueueCap:
+    def test_submit_over_cap_returns_throttled_ticket(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(max_session_pending=2)
+        )
+        session = service.connect("alice")
+        ok = [session.submit(0, [10, 20]), session.submit(1, [30, 40])]
+        over = session.submit(2, [50, 60])
+        assert all(t.state is TicketState.PENDING for t in ok)
+        assert over.state is TicketState.THROTTLED
+        assert over.done
+        assert over.throttle_reason is ThrottleReason.SESSION_QUEUE_FULL
+        assert over.error and "alice" in over.error
+        assert session.throttled() == [over]
+        # The shed command never entered the pool, but still drew a sequence.
+        assert service.pending_commands() == 2
+        assert over.sequence > ok[-1].sequence
+
+    def test_resolving_tickets_releases_capacity(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(max_session_pending=1)
+        )
+        session = service.connect("alice")
+        first = session.submit(0, [10, 20])
+        assert session.submit(0, [11, 21]).state is TicketState.THROTTLED
+        service.drive(flush=True)
+        assert first.state is TicketState.EXECUTED
+        assert service.open_tickets("alice") == 0
+        retry = session.submit(0, [11, 21])
+        assert retry.state is TicketState.PENDING
+
+    def test_cap_is_per_session(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(max_session_pending=1)
+        )
+        alice = service.connect("alice")
+        bob = service.connect("bob")
+        assert alice.submit(0, [1, 2]).state is TicketState.PENDING
+        assert bob.submit(0, [3, 4]).state is TicketState.PENDING
+        assert alice.submit(0, [5, 6]).state is TicketState.THROTTLED
+        assert bob.submit(0, [7, 8]).state is TicketState.THROTTLED
+
+
+class TestAdmissionControl:
+    def test_watermark_sheds_every_session(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(admission_watermark=2)
+        )
+        alice = service.connect("alice")
+        bob = service.connect("bob")
+        assert alice.submit(0, [1, 2]).state is TicketState.PENDING
+        assert alice.submit(1, [3, 4]).state is TicketState.PENDING
+        shed = bob.submit(2, [5, 6])
+        assert shed.state is TicketState.THROTTLED
+        assert shed.throttle_reason is ThrottleReason.ADMISSION_SHED
+        # Draining the backlog re-opens admission.
+        service.drive(flush=True)
+        assert bob.submit(2, [5, 6]).state is TicketState.PENDING
+
+    def test_session_cap_checked_before_watermark(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field),
+            qos=QosPolicy(max_session_pending=1, admission_watermark=1),
+        )
+        session = service.connect("alice")
+        session.submit(0, [1, 2])
+        over = session.submit(0, [3, 4])
+        assert over.throttle_reason is ThrottleReason.SESSION_QUEUE_FULL
+
+
+class TestQosReport:
+    def test_counters_and_policy_description(self, big_field):
+        qos = QosPolicy(max_session_pending=1, admission_watermark=2)
+        service = CSMService(_csm_protocol(big_field), qos=qos)
+        session = service.connect("alice")
+        session.submit(0, [1, 2])
+        session.submit(0, [3, 4])  # session cap (alice already holds 1)
+        service.connect("bob").submit(1, [5, 6])
+        # carol holds nothing, so only the watermark can throttle her: the
+        # pool already holds 2 commands, at the shed threshold.
+        service.connect("carol").submit(2, [7, 8])
+        report = service.qos_report()
+        assert report["policy"] == qos.describe()
+        assert report["pending"] == 2
+        assert report["open_tickets"] == 2
+        assert report["throttled_session"] == 1
+        assert report["throttled_admission"] == 1
+        assert report["tick"] == service.clock.now
+
+    def test_report_without_policy_shows_disabled_defaults(self, big_field):
+        report = CSMService(_csm_protocol(big_field)).qos_report()
+        assert report["policy"]["enabled"] is False
+        assert report["throttled_session"] == 0
+        assert report["throttled_admission"] == 0
+
+
+class TestWeightedFairThroughService:
+    def test_weight_two_session_drains_first(self, big_field):
+        # Saturate one machine from two sessions; with max_batch_rounds=1
+        # each tick grants machine 0 exactly one slot, so the stride shares
+        # are directly visible in the execution order.
+        qos = QosPolicy(selection="weighted_fair", session_weights={"heavy": 2})
+        service = CSMService(
+            _csm_protocol(big_field), max_batch_rounds=1, qos=qos
+        )
+        heavy = service.connect("heavy")
+        light = service.connect("light")
+        heavy_tickets = [heavy.submit(0, [1, v]) for v in range(1, 7)]
+        light_tickets = [light.submit(0, [2, v]) for v in range(1, 7)]
+        for _ in range(6):
+            service.drive()
+        executed_heavy = sum(
+            1 for t in heavy_tickets if t.state is TicketState.EXECUTED
+        )
+        executed_light = sum(
+            1 for t in light_tickets if t.state is TicketState.EXECUTED
+        )
+        assert executed_heavy == 4
+        assert executed_light == 2
+        service.drain()
+        assert all(
+            t.state is TicketState.EXECUTED
+            for t in heavy_tickets + light_tickets
+        )
+
+
+class TestShardedQos:
+    def _sharded(self, field, qos):
+        backends = [
+            _csm_protocol(field, seed=11 + shard) for shard in range(2)
+        ]
+        return ShardedCSMService(backends, qos=qos)
+
+    def test_session_cap_is_global_across_shards(self, big_field):
+        service = self._sharded(big_field, QosPolicy(max_session_pending=2))
+        session = service.connect("alice")
+        shard_width = service.num_machines // 2
+        first = session.submit(0, [1, 2])  # shard 0
+        second = session.submit(shard_width, [3, 4])  # shard 1
+        assert first.state is second.state is TicketState.PENDING
+        # Each shard holds only one open ticket, yet the third submit must
+        # throttle: the cap counts the session's tickets across all shards.
+        over = session.submit(0, [5, 6])
+        assert over.state is TicketState.THROTTLED
+        assert over.throttle_reason is ThrottleReason.SESSION_QUEUE_FULL
+        assert over.machine_index == 0
+        service.drain()
+        assert session.submit(0, [5, 6]).state is TicketState.PENDING
+
+    def test_merged_report_sums_shards(self, big_field):
+        service = self._sharded(big_field, QosPolicy(max_session_pending=1))
+        shard_width = service.num_machines // 2
+        a, b = service.connect("a"), service.connect("b")
+        a.submit(0, [1, 2])
+        a.submit(shard_width, [3, 4])  # global cap -> throttled
+        b.submit(shard_width, [5, 6])
+        report = service.qos_report()
+        assert report["pending"] == 2
+        assert report["open_tickets"] == 2
+        assert report["throttled_session"] == 1
+        assert len(report["shards"]) == 2
+        assert report["tick"] == service.clock.now
+
+    def test_sequences_stay_globally_ordered_with_throttles(self, big_field):
+        service = self._sharded(big_field, QosPolicy(max_session_pending=1))
+        session = service.connect("alice")
+        shard_width = service.num_machines // 2
+        tickets = [
+            session.submit(0, [1, 2]),
+            session.submit(shard_width, [3, 4]),  # throttled (global cap)
+            session.submit(0, [5, 6]),  # throttled
+        ]
+        sequences = [t.sequence for t in tickets]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)

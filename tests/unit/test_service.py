@@ -23,7 +23,9 @@ from repro.service import (
     CSMService,
     CommandTicket,
     FailureReason,
+    QosPolicy,
     RoundScheduler,
+    ThrottleReason,
     TicketState,
 )
 
@@ -434,3 +436,144 @@ class TestPipelineFlag:
             assert bat.clients == pip.clients
             np.testing.assert_array_equal(bat.result.outputs, pip.result.outputs)
             assert bat.result.correct == pip.result.correct
+
+
+class TestThrottledTicketEdges:
+    def test_pending_to_throttled_is_legal_and_terminal(self):
+        ticket = CommandTicket(
+            client_id="a", machine_index=0, command=(1,), sequence=0
+        )
+        ticket._throttle(
+            "session queue full", ThrottleReason.SESSION_QUEUE_FULL, tick=4
+        )
+        assert ticket.state is TicketState.THROTTLED
+        assert ticket.done
+        assert ticket.throttle_reason is ThrottleReason.SESSION_QUEUE_FULL
+        assert ticket.resolved_tick == 4
+        assert ticket.state_history == [
+            TicketState.PENDING,
+            TicketState.THROTTLED,
+        ]
+        with pytest.raises(ServiceError):
+            ticket.result()  # a shed command never has an output
+
+    def test_no_transitions_out_of_throttled(self):
+        ticket = CommandTicket(
+            client_id="a", machine_index=0, command=(1,), sequence=0
+        )
+        ticket._throttle("shed", ThrottleReason.ADMISSION_SHED)
+        with pytest.raises(ServiceError):
+            ticket._commit(0)
+        with pytest.raises(ServiceError):
+            ticket._execute(np.array([1]))
+        with pytest.raises(ServiceError):
+            ticket._fail("nope", FailureReason.BACKEND_ERROR)
+        with pytest.raises(ServiceError):
+            ticket._throttle("again", ThrottleReason.SESSION_QUEUE_FULL)
+        # The illegal edges left no trace on the terminal ticket.
+        assert ticket.state is TicketState.THROTTLED
+        assert ticket.failure_reason is None
+        assert ticket.round_index is None
+
+    def test_committed_ticket_cannot_be_throttled(self):
+        ticket = CommandTicket(
+            client_id="a", machine_index=0, command=(1,), sequence=0
+        )
+        ticket._commit(0)
+        with pytest.raises(ServiceError):
+            ticket._throttle("late", ThrottleReason.SESSION_QUEUE_FULL)
+
+    def test_backpressure_releases_capacity_after_resolution(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(max_session_pending=1)
+        )
+        session = service.connect("alice")
+        session.submit(0, [1, 1])
+        assert session.submit(0, [2, 2]).state is TicketState.THROTTLED
+        service.drive(flush=True)  # resolves the open ticket
+        assert session.submit(0, [2, 2]).state is TicketState.PENDING
+
+
+class TestDeferralAgeAcrossCappedTicks:
+    def test_leftovers_of_a_capped_tick_keep_their_age(self, big_field):
+        # Regression: a tick that forms rounds but leaves commands behind
+        # (max_batch_rounds exhausted) used to reset the deferral age, so the
+        # leftover's starvation clock restarted from zero and the max_wait
+        # override fired one tick late.  The age must follow the oldest
+        # still-pending command.
+        service = CSMService(
+            _csm_protocol(big_field),
+            max_batch_rounds=1,
+            min_fill=2,
+            max_wait_ticks=3,
+        )
+        alice = service.connect("alice")
+        first = alice.submit(0, [1, 1])
+        leftover = alice.submit(0, [2, 2])
+        other = service.connect("bob").submit(1, [3, 3])
+
+        # Tick 1: two machines pending (>= min_fill) forms one capped round;
+        # the second machine-0 command stays behind and is now 1 tick old.
+        assert len(service.drive()) == 1
+        assert first.state is TicketState.EXECUTED
+        assert other.state is TicketState.EXECUTED
+        assert leftover.state is TicketState.PENDING
+
+        # Tick 2: below min_fill, deferred — the leftover is 2 ticks old.
+        assert service.drive() == []
+        assert leftover.state is TicketState.PENDING
+
+        # Tick 3: the override fires at age 3.  Resetting the age on the
+        # capped tick would have deferred here and flushed only on tick 4.
+        assert len(service.drive()) == 1
+        assert leftover.state is TicketState.EXECUTED
+
+
+class TestLogicalTimestamps:
+    def test_ticks_stamped_through_the_lifecycle(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        ticket = service.connect("alice").submit(0, [1, 1])
+        assert ticket.submitted_tick == 0
+        assert ticket.commit_latency is None
+        assert ticket.execute_latency is None
+        service.drive(flush=True)
+        assert ticket.submitted_tick == 0
+        assert ticket.committed_tick == 1
+        assert ticket.resolved_tick == 1
+        assert ticket.commit_latency == 1
+        assert ticket.execute_latency == 1
+
+    def test_clock_advances_on_empty_ticks(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        service.drive()
+        service.drive()
+        assert service.clock.now == 2
+        ticket = service.connect("alice").submit(0, [1, 1])
+        assert ticket.submitted_tick == 2
+
+    def test_throttled_ticket_resolves_at_its_submit_tick(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), qos=QosPolicy(max_session_pending=1)
+        )
+        session = service.connect("alice")
+        session.submit(0, [1, 1])
+        service.drive()  # advances the clock without resolving (min_fill met?)
+        shed = session.submit(0, [2, 2])
+        if shed.state is TicketState.PENDING:
+            shed = session.submit(0, [3, 3])
+        assert shed.state is TicketState.THROTTLED
+        assert shed.submitted_tick == shed.resolved_tick == service.clock.now
+        assert shed.commit_latency is None
+        assert shed.execute_latency is None
+
+    def test_deferred_commit_accrues_latency(self, big_field):
+        service = CSMService(
+            _csm_protocol(big_field), min_fill=3, max_wait_ticks=3
+        )
+        ticket = service.connect("alice").submit(0, [1, 1])
+        service.drive()  # deferred
+        service.drive()  # deferred
+        service.drive()  # stale override executes it at tick 3
+        assert ticket.state is TicketState.EXECUTED
+        assert ticket.commit_latency == 3
+        assert ticket.execute_latency == 3
