@@ -3,16 +3,25 @@
 Checks soundness (every cheating strategy caught), the logarithmic number of
 interaction rounds, the constant-time commoner verification, and the
 Section 6.1 worst-case overhead accounting.
+
+With ``--intermix`` the suite additionally gates the batched engine —
+:meth:`IntermixProtocol.run_batch` stacking a whole batch of verifications
+into one matrix product shared by the worker and every auditor — against
+the scalar :meth:`IntermixProtocol.run` oracle: bit-identical outcomes
+(including the rng stream) and at least a 10x speedup.  ``--json PATH``
+writes the ``BENCH_intermix.json`` artifact.
 """
 
 import math
 
 import numpy as np
+import pytest
 
 from repro.analysis.complexity import intermix_worst_case_overhead
 from repro.experiments import intermix_report
 from repro.intermix.protocol import IntermixProtocol
 from repro.intermix.worker import WorkerStrategy
+from repro.rng import default_stream
 
 
 def test_intermix_soundness_and_interaction_rounds(benchmark):
@@ -64,3 +73,212 @@ def test_committee_size_formula(benchmark):
     for row in rows:
         assert row["actual_failure_probability"] <= row["eps_target"]
         assert row["J"] == math.ceil(math.log(row["eps_target"]) / math.log(row["mu"]))
+
+
+# ---------------------------------------------------------------------------
+# --intermix mode: the batched verification engine
+# ---------------------------------------------------------------------------
+
+def _transcripts_identical(a, b):
+    return len(a) == len(b) and all(
+        x.auditor_id == y.auditor_id
+        and x.accepted == y.accepted
+        and x.row_index == y.row_index
+        and x.path == y.path
+        and x.failure_kind == y.failure_kind
+        and x.queries_issued == y.queries_issued
+        for x, y in zip(a, b)
+    )
+
+
+def outcomes_identical(a, b):
+    """Field-by-field equality of two :class:`VerificationOutcome` objects."""
+    results_equal = (
+        (a.result is None and b.result is None)
+        or (a.result is not None and b.result is not None
+            and np.array_equal(a.result, b.result))
+    )
+    return (
+        a.accepted == b.accepted
+        and a.confirmed_fraud == b.confirmed_fraud
+        and results_equal
+        and a.committee == b.committee
+        and _transcripts_identical(a.transcripts, b.transcripts)
+        and [
+            (v.commoner_id, v.transcript_author, v.fraud_confirmed, v.operations)
+            for v in a.verdicts
+        ]
+        == [
+            (v.commoner_id, v.transcript_author, v.fraud_confirmed, v.operations)
+            for v in b.verdicts
+        ]
+        and a.worker_operations == b.worker_operations
+        and a.auditor_operations == b.auditor_operations
+        and a.commoner_operations == b.commoner_operations
+    )
+
+
+def _batch_vs_scalar(field, length, columns, strategy, num_nodes=16, seed=9):
+    node_ids = [f"node-{i}" for i in range(num_nodes)]
+    data = default_stream(1)
+    matrix = data.integers(0, field.order, size=(num_nodes, length))
+    vectors = data.integers(0, field.order, size=(length, columns))
+    strategies = {n: strategy for n in node_ids}
+    protocols = {}
+    outcomes = {}
+    for mode in ("batch", "scalar"):
+        protocol = IntermixProtocol(
+            field, node_ids, fault_fraction=0.25, rng=default_stream(seed),
+            worker_strategies=strategies,
+        )
+        committee = protocol.election.elect()
+        if mode == "batch":
+            outcomes[mode] = protocol.run_batch(matrix, vectors, committee=committee)
+        else:
+            outcomes[mode] = [
+                protocol.run(matrix, vectors[:, c], committee=committee)
+                for c in range(columns)
+            ]
+        protocols[mode] = protocol
+    return protocols, outcomes
+
+
+def test_intermix_batch_bit_identical_to_scalar_oracle(
+    benchmark, field, intermix_mode
+):
+    """run_batch == a loop of run, for every adversary, down to the rng."""
+    if not intermix_mode:
+        pytest.skip("pass --intermix to run the batched-engine benchmarks")
+
+    def compare_all():
+        for strategy in (
+            WorkerStrategy.HONEST,
+            WorkerStrategy.CORRUPT_RESULT,
+            WorkerStrategy.CONSISTENT_LIAR,
+            WorkerStrategy.SILENT,
+        ):
+            protocols, outcomes = _batch_vs_scalar(field, 32, 8, strategy)
+            assert all(
+                outcomes_identical(a, b)
+                for a, b in zip(outcomes["batch"], outcomes["scalar"])
+            )
+            assert (
+                protocols["batch"].rng.bit_generator.state
+                == protocols["scalar"].rng.bit_generator.state
+            )
+        return True
+
+    assert benchmark(compare_all)
+
+
+def test_intermix_batch_speedup(benchmark, field, intermix_mode):
+    """The stacked product makes batch verification >= 10x the scalar loop."""
+    if not intermix_mode:
+        pytest.skip("pass --intermix to run the batched-engine benchmarks")
+    import time
+
+    node_ids = [f"node-{i}" for i in range(16)]
+    data = default_stream(1)
+    matrix = data.integers(0, field.order, size=(16, 256))
+    vectors = data.integers(0, field.order, size=(256, 64))
+
+    def measure():
+        timings = {"batch": float("inf"), "scalar": float("inf")}
+        for _ in range(3):
+            for mode in ("batch", "scalar"):
+                protocol = IntermixProtocol(
+                    field, node_ids, fault_fraction=0.25, rng=default_stream(9)
+                )
+                committee = protocol.election.elect()
+                start = time.perf_counter()
+                if mode == "batch":
+                    protocol.run_batch(matrix, vectors, committee=committee)
+                else:
+                    for c in range(vectors.shape[1]):
+                        protocol.run(matrix, vectors[:, c], committee=committee)
+                timings[mode] = min(timings[mode], time.perf_counter() - start)
+        return timings
+
+    timings = benchmark(measure)
+    speedup = timings["scalar"] / timings["batch"]
+    assert speedup >= 10.0, (
+        f"batched INTERMIX only {speedup:.1f}x faster than the scalar "
+        f"oracle at K=256 x 64 columns (floor: 10x)"
+    )
+
+
+def test_intermix_json_artifact(json_artifact_path, field, intermix_mode):
+    """Write the ``BENCH_intermix.json`` perf-trajectory artifact.
+
+    Enabled by ``--intermix --json PATH``.  Deterministic gate metric:
+    ``intermix-headroom`` — the Section 6.1 worst-case formula over the
+    measured total operations per vector length (a fall means measured
+    overhead grew towards the bound).  Wall-clock metric: batched and
+    scalar verifications/sec.  Ratio metric: the batch speedup, clamped at
+    2x the 10x floor.
+    """
+    import json
+    import time
+
+    if json_artifact_path is None or not intermix_mode:
+        pytest.skip("pass --intermix --json PATH to write the artifact")
+
+    overhead = intermix_report.overhead_rows(
+        vector_lengths=(16, 64, 256), num_nodes=16
+    )
+    committee = intermix_report.committee_rows()
+    headroom = {}
+    for row in overhead:
+        measured = (
+            row["worker_ops"] + row["auditor_ops_total"] + row["commoner_ops_total"]
+        )
+        headroom[str(row["K"])] = row["worst_case_formula"] / measured
+
+    node_ids = [f"node-{i}" for i in range(16)]
+    data = default_stream(1)
+    matrix = data.integers(0, field.order, size=(16, 256))
+    vectors = data.integers(0, field.order, size=(256, 64))
+    rates = {}
+    for mode in ("batch", "scalar"):
+        best = float("inf")
+        for _ in range(3):
+            protocol = IntermixProtocol(
+                field, node_ids, fault_fraction=0.25, rng=default_stream(9)
+            )
+            chosen = protocol.election.elect()
+            start = time.perf_counter()
+            if mode == "batch":
+                protocol.run_batch(matrix, vectors, committee=chosen)
+            else:
+                for c in range(vectors.shape[1]):
+                    protocol.run(matrix, vectors[:, c], committee=chosen)
+            best = min(best, time.perf_counter() - start)
+        rates[mode] = vectors.shape[1] / best
+
+    artifact = {
+        "artifact": "BENCH_intermix",
+        "config": {
+            "num_nodes": 16,
+            "vector_lengths": [16, 64, 256],
+            "batch": {"K": 256, "columns": 64},
+            "speedup_floor": 10.0,
+            "speedup_cap": 20.0,
+        },
+        "gate": {
+            "deterministic_modes": ["intermix-headroom"],
+            "wall_clock_modes": ["intermix-batch", "intermix-scalar"],
+            "ratio_metrics": [["intermix_batch_speedup_at_largest", "min"]],
+        },
+        "modes": {
+            "intermix-headroom": headroom,
+            "intermix-batch": {"256x64": rates["batch"]},
+            "intermix-scalar": {"256x64": rates["scalar"]},
+        },
+        "intermix_batch_speedup_at_largest": min(
+            rates["batch"] / rates["scalar"], 20.0
+        ),
+        "rows": {"overhead": overhead, "committee": committee},
+    }
+    assert artifact["intermix_batch_speedup_at_largest"] >= 10.0
+    with open(json_artifact_path, "w") as handle:
+        json.dump(artifact, handle, indent=2, default=float)

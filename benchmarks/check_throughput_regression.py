@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI regression gate for the ``BENCH_throughput.json`` perf artifact.
+"""CI regression gate for the ``BENCH_*.json`` perf artifacts.
 
 Compares a freshly generated artifact against the committed baseline at the
 repository root and fails (exit 1) when a tracked metric regresses by more
@@ -23,6 +23,15 @@ Two classes of metric are gated differently:
   latency ratios are logical-tick counts, deterministic per scenario).
   Pass ``--raw`` to additionally gate the absolute rates when both
   artifacts were produced on the same machine.
+
+An artifact may carry its own gate metadata under a top-level ``"gate"``
+key — ``{"deterministic_modes": [...], "wall_clock_modes": [...],
+"ratio_metrics": [[key, "min"|"max"], ...]}`` — in which case those lists
+replace the built-in tuples below (which describe the original
+``BENCH_throughput.json`` schema and remain the fallback for artifacts
+without a ``gate`` block).  This is how ``BENCH_delegation.json``,
+``BENCH_intermix.json`` and ``BENCH_boolean.json`` reuse this gate without
+it having to know their schemas.
 
 Usage::
 
@@ -85,10 +94,30 @@ def _compare_value(name, baseline, current, tolerance, direction, failures):
         )
 
 
+def gate_config(artifact: dict) -> tuple[tuple, tuple, tuple]:
+    """The (deterministic, wall-clock, ratio) gate lists for an artifact.
+
+    Self-describing artifacts carry them under ``"gate"``; artifacts
+    without one (the original ``BENCH_throughput.json``) use the built-in
+    tuples.
+    """
+    gate = artifact.get("gate")
+    if not isinstance(gate, dict):
+        return DETERMINISTIC_MODES, WALL_CLOCK_MODES, RATIO_METRICS
+    return (
+        tuple(gate.get("deterministic_modes", ())),
+        tuple(gate.get("wall_clock_modes", ())),
+        tuple((str(key), str(direction)) for key, direction in gate.get("ratio_metrics", ())),
+    )
+
+
 def compare(baseline: dict, current: dict, tolerance: float, raw: bool) -> list[str]:
     """Return the list of regression messages (empty when the gate passes)."""
     failures: list[str] = []
-    modes = DETERMINISTIC_MODES + (WALL_CLOCK_MODES if raw else ())
+    # The *baseline* declares what is gated: a current artifact cannot
+    # un-gate a metric by dropping it from its own metadata.
+    deterministic, wall_clock, ratios = gate_config(baseline)
+    modes = deterministic + (wall_clock if raw else ())
     for mode in modes:
         base_mode = baseline.get("modes", {}).get(mode, {})
         cur_mode = current.get("modes", {}).get(mode, {})
@@ -101,7 +130,7 @@ def compare(baseline: dict, current: dict, tolerance: float, raw: bool) -> list[
                 "min",
                 failures,
             )
-    for key, direction in RATIO_METRICS:
+    for key, direction in ratios:
         _compare_value(
             key, baseline.get(key), current.get(key), tolerance, direction, failures
         )
@@ -138,16 +167,18 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(handle)
 
     failures = compare(baseline, current, args.tolerance, args.raw)
+    name = baseline.get("artifact", "throughput")
     if failures:
-        print("THROUGHPUT REGRESSION GATE FAILED:")
+        print(f"{name} REGRESSION GATE FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    checked = len(DETERMINISTIC_MODES) + len(RATIO_METRICS) + (
-        len(WALL_CLOCK_MODES) if args.raw else 0
+    deterministic, wall_clock, ratios = gate_config(baseline)
+    checked = len(deterministic) + len(ratios) + (
+        len(wall_clock) if args.raw else 0
     )
     print(
-        f"throughput gate passed: {checked} metric groups within "
+        f"{name} gate passed: {checked} metric groups within "
         f"{args.tolerance:.0%} of baseline"
     )
     return 0

@@ -93,6 +93,29 @@ def pytest_addoption(parser):
     )
 
     parser.addoption(
+        "--delegation",
+        action="store_true",
+        default=False,
+        help=(
+            "Enable the delegated-verification round benchmarks "
+            "(scaling.delegation_rows: DelegationRoundProtocol batched vs "
+            "scalar INTERMIX, including the >= 3x batched-speedup and "
+            "bit-identity gate at the largest configuration)."
+        ),
+    )
+
+    parser.addoption(
+        "--intermix",
+        action="store_true",
+        default=False,
+        help=(
+            "Enable the INTERMIX engine benchmarks "
+            "(IntermixProtocol.run_batch vs the scalar run oracle: stacked "
+            "matrix products, committee reuse, bit-identical outcomes)."
+        ),
+    )
+
+    parser.addoption(
         "--json",
         action="store",
         default=None,
@@ -145,6 +168,18 @@ def consensus_oracle_mode(request) -> bool:
 def traffic_mode(request) -> bool:
     """Whether ``--traffic`` was passed on the command line."""
     return bool(request.config.getoption("--traffic"))
+
+
+@pytest.fixture(scope="session")
+def delegation_mode(request) -> bool:
+    """Whether ``--delegation`` was passed on the command line."""
+    return bool(request.config.getoption("--delegation"))
+
+
+@pytest.fixture(scope="session")
+def intermix_mode(request) -> bool:
+    """Whether ``--intermix`` was passed on the command line."""
+    return bool(request.config.getoption("--intermix"))
 
 
 @pytest.fixture(scope="session")

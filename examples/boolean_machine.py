@@ -16,6 +16,7 @@ from repro.core import CSMConfig, CodedExecutionEngine
 from repro.gf import BinaryExtensionField
 from repro.machine import BooleanTransitionCompiler, embed_bits, project_bits
 from repro.net import RandomGarbageBehavior
+from repro.rng import default_stream
 
 NUM_NODES = 11
 NUM_MACHINES = 2  # two independent predictors
@@ -61,7 +62,7 @@ def main() -> None:
     )
     engine = CodedExecutionEngine(
         config, machine, behaviors={"node-4": RandomGarbageBehavior()},
-        rng=np.random.default_rng(5),
+        rng=default_stream(5),
     )
 
     # Two predictors observe different branch-outcome streams.

@@ -19,12 +19,13 @@ import numpy as np
 from repro.gf import PrimeField
 from repro.intermix import IntermixProtocol, WorkerStrategy
 from repro.lcc import LagrangeScheme
+from repro.rng import default_stream
 
 
 def run_case(field, scheme, commands, strategy: WorkerStrategy) -> None:
     node_ids = [f"node-{i}" for i in range(scheme.num_nodes)]
     protocol = IntermixProtocol(
-        field, node_ids, fault_fraction=0.25, rng=np.random.default_rng(3),
+        field, node_ids, fault_fraction=0.25, rng=default_stream(3),
         worker_strategies={n: strategy for n in node_ids},
     )
     outcome = protocol.run(scheme.coefficient_matrix, commands)

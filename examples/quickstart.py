@@ -13,12 +13,12 @@ correct output despite the faulty nodes.
 Run with:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.core import CSMConfig, CSMProtocol
 from repro.gf import PrimeField
 from repro.machine import bank_account_machine
 from repro.net import RandomGarbageBehavior, SilentBehavior
+from repro.rng import default_stream
 from repro.service import CSMService
 
 
@@ -36,7 +36,7 @@ def main() -> None:
         "node-3": RandomGarbageBehavior(),     # reports garbage results
         "node-8": SilentBehavior(),            # never responds
     }
-    protocol = CSMProtocol(config, machine, behaviors, rng=np.random.default_rng(7))
+    protocol = CSMProtocol(config, machine, behaviors, rng=default_stream(7))
 
     # The service is the client-facing API: sessions submit ragged traffic,
     # the scheduler batches it into rounds behind the scenes.  pipeline=True
@@ -95,6 +95,26 @@ def main() -> None:
     # sized for that shard.  Tickets, sequences and the merged reporting view
     # read exactly as above; see the README's "Sharded serving" section and
     # repro.experiments.scaling.sharded_rows for the measured speedup.
+
+    # Delegated verification (Section 6.2): the same service surface can run
+    # with ALL coding work handed to one untrusted worker per batch, merely
+    # verified by an INTERMIX auditor committee — per-node coding cost drops
+    # to polylogarithmic.  Swap the backend, keep the client code:
+    from repro.intermix import DelegationRoundProtocol
+
+    delegated = CSMService(
+        DelegationRoundProtocol(
+            machine, 4, [f"node-{i}" for i in range(12)], rng=default_stream(7)
+        )
+    )
+    carol = delegated.connect("carol")
+    ticket = carol.submit(0, [42, 0])
+    delegated.drain()
+    print("delegated round ticket:", ticket.state.value,
+          "balances =", ticket.result().tolist())
+    # A worker convicted of fraud voids the round instead: tickets FAIL with
+    # FailureReason.DELEGATION_FRAUD, no output is delivered, and the coded
+    # states stay put so resubmission under a fresh committee is safe.
 
 
 if __name__ == "__main__":

@@ -13,13 +13,13 @@ ledgers survive.
 Run with:  python examples/sharded_ledger.py
 """
 
-import numpy as np
 
 from repro.core import CSMConfig, CodedExecutionEngine
 from repro.gf import PrimeField
 from repro.machine import bank_account_machine
 from repro.net import RandomGarbageBehavior
 from repro.replication import PartialReplicationSMR
+from repro.rng import default_stream
 
 
 NUM_NODES = 16
@@ -31,7 +31,7 @@ def main() -> None:
     field = PrimeField()
     machine = bank_account_machine(field, num_accounts=2)
     node_ids = [f"node-{i}" for i in range(NUM_NODES)]
-    rng = np.random.default_rng(11)
+    rng = default_stream(11)
 
     # The adversary corrupts the first three nodes — all members of partial
     # replication's group 0 (majority of a group of 4).
@@ -43,7 +43,7 @@ def main() -> None:
 
     # --- partial replication -------------------------------------------------
     partial = PartialReplicationSMR(
-        machine, NUM_LEDGERS, node_ids, behaviors, np.random.default_rng(11)
+        machine, NUM_LEDGERS, node_ids, behaviors, default_stream(11)
     )
     partial_result = partial.execute_round(commands)
     print("Partial replication (groups of", partial.group_size, "nodes):")
@@ -61,7 +61,7 @@ def main() -> None:
     )
     csm = CodedExecutionEngine(
         config, bank_account_machine(field, num_accounts=2),
-        node_ids=node_ids, behaviors=behaviors, rng=np.random.default_rng(11),
+        node_ids=node_ids, behaviors=behaviors, rng=default_stream(11),
     )
     csm_result = csm.execute_round(commands)
     print("Coded State Machine:")

@@ -243,6 +243,85 @@ def pipelined_rows(
     return rows
 
 
+def delegation_rows(
+    network_sizes: tuple[int, ...] = (8, 16, 32),
+    fault_fraction: float = 0.2,
+    seed: int = 0,
+    rounds: int = 8,
+    failure_probability: float = 1e-6,
+) -> list[dict]:
+    """Delegated-verification rounds: batched INTERMIX versus the scalar oracle.
+
+    For each network size the *same* command stream runs twice through
+    identically-seeded :class:`~repro.intermix.rounds.DelegationRoundProtocol`
+    backends — mode ``"batched"`` verifies every delegated coding operation
+    through :meth:`IntermixProtocol.run_batch` (one stacked matrix product
+    shared by the worker and all auditors), mode ``"scalar"`` pins the
+    column-at-a-time reference oracle.  Rows report delegated rounds and
+    commands per wall-clock second, the paper-metric throughput, and
+    ``identical`` — whether the two modes produced bit-identical
+    outputs/states/operation counts (the property the benchmark suite gates
+    on, alongside the batched-mode speedup).
+    """
+    from repro.intermix.committee import required_committee_size
+    from repro.intermix.rounds import DelegationRoundProtocol
+
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    committee_size = required_committee_size(fault_fraction, failure_probability)
+    rows = []
+    for num_nodes in network_sizes:
+        k = max(num_nodes // 4, 2)
+        commands = default_stream(seed).integers(
+            1, 1000, size=(rounds, k, machine.command_dim)
+        )
+        per_mode: dict[str, DelegationRoundProtocol] = {}
+        timings: dict[str, float] = {}
+        for mode, batched in (("batched", True), ("scalar", False)):
+            protocol = DelegationRoundProtocol(
+                machine,
+                k,
+                [f"node-{i}" for i in range(num_nodes)],
+                fault_fraction=fault_fraction,
+                rng=default_stream(seed),
+                failure_probability=failure_probability,
+                batched=batched,
+            )
+            start = wall_clock()
+            protocol.run_rounds_batched(list(commands))
+            timings[mode] = wall_clock() - start
+            per_mode[mode] = protocol
+        identical = all(
+            np.array_equal(a.result.outputs, b.result.outputs)
+            and np.array_equal(a.result.states, b.result.states)
+            and a.result.correct == b.result.correct
+            and a.result.ops_per_node == b.result.ops_per_node
+            for a, b in zip(per_mode["batched"].history, per_mode["scalar"].history)
+        )
+        for mode in ("batched", "scalar"):
+            protocol = per_mode[mode]
+            elapsed = timings[mode]
+            failed = protocol.failed_rounds
+            rows.append(
+                {
+                    "N": num_nodes,
+                    "K": k,
+                    "J": committee_size,
+                    "rounds": rounds,
+                    "mode": mode,
+                    "rounds_per_sec": rounds / elapsed if elapsed else 0.0,
+                    "commands_per_sec": k * (rounds - failed) / elapsed
+                    if elapsed
+                    else 0.0,
+                    "throughput": protocol.measured_throughput(),
+                    "failed_rounds": failed,
+                    "identical": identical,
+                    "wall_seconds": elapsed,
+                }
+            )
+    return rows
+
+
 def _build_protocol(
     field, machine, num_nodes, fault_fraction, seed, vectorised_consensus=True
 ):
@@ -710,6 +789,9 @@ def run(**kwargs) -> dict:
         "pipelined": pipelined_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds",
             "verify_window")}),
+        "delegation": delegation_rows(**{k: v for k, v in kwargs.items() if k in (
+            "network_sizes", "fault_fraction", "seed", "rounds",
+            "failure_probability")}),
         "service": service_rows(**{k: v for k, v in kwargs.items() if k in (
             "network_sizes", "fault_fraction", "seed", "rounds",
             "fill_probability", "min_fill")}),
@@ -738,6 +820,9 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     print()
     print("Speculative pipeline vs batched decode (execution phase, fault-free)")
     print(format_table(result["pipelined"]))
+    print()
+    print("Delegated-verification rounds: batched INTERMIX vs scalar oracle")
+    print(format_table(result["delegation"]))
     print()
     print("Ragged client traffic through the session/ticket service API")
     print(format_table(result["service"]))

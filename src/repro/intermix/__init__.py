@@ -26,6 +26,7 @@ from repro.intermix.auditor import Auditor, AuditTranscript
 from repro.intermix.commoner import Commoner, CommonerVerdict
 from repro.intermix.protocol import IntermixProtocol, VerificationOutcome
 from repro.intermix.delegation import DelegatedCodingService, DelegatedRoundReport
+from repro.intermix.rounds import DelegationRoundProtocol
 
 __all__ = [
     "CommitteeElection",
@@ -40,4 +41,5 @@ __all__ = [
     "VerificationOutcome",
     "DelegatedCodingService",
     "DelegatedRoundReport",
+    "DelegationRoundProtocol",
 ]

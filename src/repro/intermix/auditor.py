@@ -101,8 +101,63 @@ class Auditor:
             true_product = gf_matvec(self.field, matrix, vector)
         finally:
             self.field.attach_counter(None)
+        return self._conclude(matrix, vector, claimed, worker, true_product)
 
-        mismatches = np.nonzero(true_product != claimed)[0]
+    def audit_precomputed(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        claimed: np.ndarray | None,
+        worker: Worker,
+        true_product: np.ndarray,
+        multiplications: int,
+        additions: int,
+        mismatches: np.ndarray | None = None,
+    ) -> AuditTranscript:
+        """Algorithm 1 with the recomputation ``Y = A X`` supplied by the caller.
+
+        The batched protocol computes every auditor's recomputation as one
+        stacked matrix product; each auditor is charged its per-round share
+        of that product's cost (``multiplications``/``additions``) and then
+        concludes exactly as :meth:`audit` — acceptance, a baseless alert
+        when dishonest, or the interactive bisection against the worker.
+        ``mismatches`` optionally shares one precomputed comparison of
+        ``true_product`` against ``claimed`` across all auditors.
+        """
+        matrix = self.field.array(matrix)
+        vector = self.field.array(vector).reshape(-1)
+        if claimed is None:
+            return AuditTranscript(
+                auditor_id=self.node_id, accepted=False, failure_kind="no-response"
+            )
+        claimed = self.field.array(claimed).reshape(-1)
+        if claimed.shape[0] != matrix.shape[0]:
+            raise ConfigurationError(
+                f"claimed result has {claimed.shape[0]} rows, matrix has {matrix.shape[0]}"
+            )
+        self.counter.mul(multiplications)
+        self.counter.add(additions)
+        return self._conclude(
+            matrix,
+            vector,
+            claimed,
+            worker,
+            self.field.array(true_product).reshape(-1),
+            mismatches=mismatches,
+        )
+
+    def _conclude(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        claimed: np.ndarray,
+        worker: Worker,
+        true_product: np.ndarray,
+        mismatches: np.ndarray | None = None,
+    ) -> AuditTranscript:
+        """Accept, raise a baseless alert, or bisect — given the recomputation."""
+        if mismatches is None:
+            mismatches = np.nonzero(true_product != claimed)[0]
         if mismatches.shape[0] == 0:
             if self.dishonest:
                 # A dishonest auditor may raise a baseless alert; commoners

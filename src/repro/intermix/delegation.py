@@ -88,6 +88,7 @@ class DelegatedCodingService:
         worker_strategies: dict[str, WorkerStrategy] | None = None,
         corrupt_decoder_workers: set[str] | None = None,
         failure_probability: float = 1e-6,
+        dishonest_auditors: set[str] | None = None,
     ) -> None:
         self.scheme = scheme
         self.field: Field = scheme.field
@@ -101,6 +102,7 @@ class DelegatedCodingService:
             failure_probability=failure_probability,
             rng=self.rng,
             worker_strategies=worker_strategies,
+            dishonest_auditors=dishonest_auditors,
         )
         self.corrupt_decoder_workers = set(corrupt_decoder_workers or set())
         self._decoder = CodedResultDecoder(scheme, transition_degree)
@@ -116,8 +118,15 @@ class DelegatedCodingService:
         values: np.ndarray,
         committee: Committee | None = None,
         operation: str = "encode-commands",
+        batched: bool = False,
     ) -> tuple[np.ndarray, DelegatedRoundReport]:
-        """Compute ``C @ values`` at the worker, one INTERMIX run per component."""
+        """Compute ``C @ values`` at the worker, one INTERMIX run per component.
+
+        With ``batched=True`` the per-component runs collapse into one
+        :meth:`~repro.intermix.protocol.IntermixProtocol.run_batch` (a single
+        stacked matrix product for the worker and every auditor); the report
+        is bit-identical to the scalar loop.
+        """
         committee = committee or self.elect_committee()
         arr = self.field.array(values)
         if arr.ndim == 1:
@@ -127,18 +136,10 @@ class DelegatedCodingService:
         report = DelegatedRoundReport(
             operation=operation, accepted=True, worker_id=committee.worker
         )
-        for component in range(arr.shape[1]):
-            outcome = self.intermix.run(matrix, arr[:, component], committee=committee)
-            report.outcomes.append(outcome)
-            report.worker_operations += outcome.worker_operations
-            for node, ops in outcome.auditor_operations.items():
-                report.auditor_operations[node] = (
-                    report.auditor_operations.get(node, 0) + ops
-                )
-            for node, ops in outcome.commoner_operations.items():
-                report.commoner_operations[node] = (
-                    report.commoner_operations.get(node, 0) + ops
-                )
+        for component, outcome in enumerate(
+            self._run_components(matrix, arr, committee, batched)
+        ):
+            self._merge_outcome(report, outcome)
             if not outcome.accepted or outcome.result is None:
                 report.accepted = False
                 continue
@@ -146,11 +147,17 @@ class DelegatedCodingService:
         return coded, report
 
     def update_coded_states_verified(
-        self, decoded_next_states: np.ndarray, committee: Committee | None = None
+        self,
+        decoded_next_states: np.ndarray,
+        committee: Committee | None = None,
+        batched: bool = False,
     ) -> tuple[np.ndarray, DelegatedRoundReport]:
         """The state-update path: same verified product with the new states."""
         return self.encode_vectors_verified(
-            decoded_next_states, committee=committee, operation="update-states"
+            decoded_next_states,
+            committee=committee,
+            operation="update-states",
+            batched=batched,
         )
 
     # -- operation 3: decoding results ----------------------------------------------------------
@@ -232,7 +239,106 @@ class DelegatedCodingService:
             )
         return outputs, report
 
+    def decode_results_verified_fast(
+        self,
+        coded_results: np.ndarray,
+        committee: Committee | None = None,
+        batched: bool = True,
+    ) -> tuple[np.ndarray, DelegatedRoundReport]:
+        """Decode one round's coded results through the cached fast-path decoder.
+
+        The modern counterpart of :meth:`decode_results_verified`: the worker
+        decodes via :meth:`~repro.lcc.decoder.CodedResultDecoder.decode_fast`
+        (cached-matrix interpolation + re-encode verification instead of one
+        Berlekamp–Welch system per component), the agreement set is the
+        complement of the decoder's confirmed error nodes, and the eq. (9) /
+        eq. (8) verifications run once across *all* components —
+        as one :meth:`~repro.intermix.protocol.IntermixProtocol.run_batch`
+        each when ``batched``, or as the bit-identical scalar loop otherwise.
+
+        Unlike :meth:`decode_results_verified` this never raises on a
+        cheating worker: ``report.accepted`` carries the verdict, so round
+        drivers can record the failed round (and its operation counts)
+        instead of unwinding.  :class:`~repro.exceptions.DecodingError` is
+        still raised when even an honest decode is impossible.
+        """
+        committee = committee or self.elect_committee()
+        results = self.field.array(coded_results)
+        if results.ndim == 1:
+            results = results.reshape(-1, 1)
+        report = DelegatedRoundReport(
+            operation="decode-results", accepted=True, worker_id=committee.worker
+        )
+        composite_degree = self.scheme.composite_degree(self.transition_degree)
+        num_coefficients = composite_degree + 1
+        agreement_threshold = (self.scheme.num_nodes + composite_degree + 1 + 1) // 2
+        worker_counter = OperationCounter()
+        self.field.attach_counter(worker_counter)
+        try:
+            decoded = self._decoder.decode_fast(results)
+        finally:
+            self.field.attach_counter(None)
+        coefficients = np.zeros((num_coefficients, results.shape[1]), dtype=np.int64)
+        for component, polynomial in enumerate(decoded.polynomials):
+            coefficients[:, component] = polynomial.coefficient_array(num_coefficients)
+        if committee.worker in self.corrupt_decoder_workers:
+            coefficients[0, :] = self.field.add(coefficients[0, :], 1)
+        agreement_set = [
+            i for i in range(self.scheme.num_nodes) if i not in decoded.error_nodes
+        ]
+        if len(agreement_set) < agreement_threshold:
+            raise DecodingError(
+                f"agreement set of size {len(agreement_set)} below the "
+                f"threshold {agreement_threshold}"
+            )
+        # Equation (9): the received results on tau match V_tau @ b — every
+        # component against the one shared agreement set.
+        tau_points = [self.scheme.alphas[i] for i in agreement_set]
+        tau_matrix = vandermonde_matrix(self.field, tau_points, num_coefficients)
+        outputs = np.zeros(
+            (self.scheme.num_machines, results.shape[1]), dtype=np.int64
+        )
+        for component, outcome9 in enumerate(
+            self._run_components(tau_matrix, coefficients, committee, batched)
+        ):
+            self._merge_outcome(report, outcome9)
+            if outcome9.accepted and outcome9.result is not None:
+                received_tau = results[agreement_set, component]
+                if not np.array_equal(
+                    self.field.array(outcome9.result), self.field.array(received_tau)
+                ):
+                    report.accepted = False
+            else:
+                report.accepted = False
+        # Equation (8): evaluate the decoded polynomials at the omegas.
+        omega_matrix = self._omega_matrix(num_coefficients)
+        for component, outcome8 in enumerate(
+            self._run_components(omega_matrix, coefficients, committee, batched)
+        ):
+            self._merge_outcome(report, outcome8)
+            if outcome8.accepted and outcome8.result is not None:
+                outputs[:, component] = outcome8.result
+            else:
+                report.accepted = False
+        report.worker_operations += worker_counter.total
+        return outputs, report
+
     # -- internals ----------------------------------------------------------------------------------
+    def _run_components(
+        self,
+        matrix: np.ndarray,
+        columns: np.ndarray,
+        committee: Committee,
+        batched: bool,
+    ) -> list[VerificationOutcome]:
+        """Verify ``matrix @ columns[:, c]`` for every component column."""
+        if batched:
+            return self.intermix.run_batch(matrix, columns, committee=committee)
+        return [
+            self.intermix.run(matrix, columns[:, c], committee=committee)
+            for c in range(columns.shape[1])
+        ]
+
     def _decode_component(self, column: np.ndarray):
         from repro.coding.berlekamp_welch import BerlekampWelchDecoder
 

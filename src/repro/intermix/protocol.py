@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import VerificationError
-from repro.gf.field import Field
+from repro.gf.field import Field, OperationCounter
 from repro.intermix.auditor import Auditor, AuditTranscript
 from repro.intermix.commoner import Commoner, CommonerVerdict
 from repro.intermix.committee import Committee, CommitteeElection
@@ -102,14 +102,116 @@ class IntermixProtocol:
         strategy = self.worker_strategies.get(committee.worker, WorkerStrategy.HONEST)
         worker = Worker(committee.worker, self.field, strategy=strategy, rng=self.rng)
         claimed = worker.compute(matrix, vector)
+        return self._judge(matrix, vector, committee, worker, claimed)
 
+    def run_batch(
+        self,
+        matrix: np.ndarray,
+        vectors: np.ndarray,
+        committee: Committee | None = None,
+    ) -> list[VerificationOutcome]:
+        """Verify many delegated products ``A @ vectors[:, r]`` in one batch.
+
+        One committee serves every column (elected here when not supplied),
+        and the worker's — and all auditors' — recomputations collapse into a
+        single stacked :meth:`~repro.gf.field.Field.matmul` whose operation
+        count is split evenly across the columns (exact, because the matmul
+        cost is shape-based and identical per column to
+        :func:`~repro.gf.linalg.gf_matvec`).  The returned outcomes are
+        bit-identical — verdicts, transcripts, per-role operation counts and
+        rng stream — to ``[run(matrix, vectors[:, r], committee=c) for r in
+        range(R)]`` with the same committee ``c``; the scalar :meth:`run`
+        stays the reference oracle.
+        """
+        committee = committee or self.election.elect()
+        matrix_arr = self.field.array(matrix)
+        vectors_arr = self.field.array(vectors)
+        if vectors_arr.ndim == 1:
+            vectors_arr = vectors_arr.reshape(-1, 1)
+        num_rounds = vectors_arr.shape[1]
+        if num_rounds == 0:
+            return []
+        strategy = self.worker_strategies.get(committee.worker, WorkerStrategy.HONEST)
+        if strategy is WorkerStrategy.SILENT:
+            # A silent worker never computes (and the scalar path charges
+            # nothing for it), so there is no product to batch.
+            true_products = None
+            per_muls = per_adds = 0
+        else:
+            batch_counter = OperationCounter()
+            self.field.attach_counter(batch_counter)
+            try:
+                true_products = self.field.matmul(matrix_arr, vectors_arr)
+            finally:
+                self.field.attach_counter(None)
+            per_muls = batch_counter.multiplications // num_rounds
+            per_adds = batch_counter.additions // num_rounds
+        outcomes: list[VerificationOutcome] = []
+        for index in range(num_rounds):
+            column = np.ascontiguousarray(vectors_arr[:, index])
+            worker = Worker(
+                committee.worker, self.field, strategy=strategy, rng=self.rng
+            )
+            if true_products is None:
+                claimed = worker.compute(matrix_arr, column)
+                truth = None
+                mismatches = None
+            else:
+                truth = np.ascontiguousarray(true_products[:, index])
+                claimed = worker.adopt_computation(
+                    matrix_arr, column, truth, per_muls, per_adds
+                )
+                # One stacked comparison serves every auditor of this round.
+                mismatches = np.nonzero(truth != claimed)[0]
+            outcomes.append(
+                self._judge(
+                    matrix_arr,
+                    column,
+                    committee,
+                    worker,
+                    claimed,
+                    true_product=truth,
+                    per_muls=per_muls,
+                    per_adds=per_adds,
+                    mismatches=mismatches,
+                )
+            )
+        return outcomes
+
+    def _judge(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        committee: Committee,
+        worker: Worker,
+        claimed: np.ndarray | None,
+        true_product: np.ndarray | None = None,
+        per_muls: int = 0,
+        per_adds: int = 0,
+        mismatches: np.ndarray | None = None,
+    ) -> VerificationOutcome:
+        """Audit, publish, and validate one delegated product's broadcast."""
         transcripts: list[AuditTranscript] = []
         auditor_ops: dict[str, int] = {}
         for auditor_id in committee.auditors:
             auditor = Auditor(
                 auditor_id, self.field, dishonest=auditor_id in self.dishonest_auditors
             )
-            transcripts.append(auditor.audit(matrix, vector, claimed, worker))
+            if true_product is None:
+                transcripts.append(auditor.audit(matrix, vector, claimed, worker))
+            else:
+                transcripts.append(
+                    auditor.audit_precomputed(
+                        matrix,
+                        vector,
+                        claimed,
+                        worker,
+                        true_product,
+                        per_muls,
+                        per_adds,
+                        mismatches=mismatches,
+                    )
+                )
             auditor_ops[auditor_id] = auditor.operations
 
         # Publish the worker's claims the accusations refer to (the commoners
@@ -189,7 +291,7 @@ class IntermixProtocol:
             return transcript
         start, stop = transcript.leaf_range
         row = transcript.row_index
-        vector_length = worker._vector.shape[0] if worker._vector is not None else stop
+        vector_length = worker.vector_length if worker.vector_length is not None else stop
 
         def worker_claim_for(range_start: int, range_stop: int) -> int | None:
             """The worker's public claim for a sub-range of the disputed row."""

@@ -95,6 +95,39 @@ class Worker:
             true_product = gf_matvec(self.field, self._matrix, self._vector)
         finally:
             self.field.attach_counter(None)
+        return self._finish_compute(true_product)
+
+    def adopt_computation(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        true_product: np.ndarray,
+        multiplications: int,
+        additions: int,
+    ) -> np.ndarray | None:
+        """Batched-path entry: adopt a precomputed ``A X`` with its cost.
+
+        The stacked batch path computes the products of many delegated rounds
+        in one matrix product; this hands the worker its round's column plus
+        the per-round share of the batch's operation counts, after which the
+        strategy branches (honest broadcast, corruption, claim caching) run
+        exactly as in :meth:`compute`.
+        """
+        self._matrix = self.field.array(matrix)
+        self._vector = self.field.array(vector).reshape(-1)
+        if self._matrix.ndim != 2 or self._matrix.shape[1] != self._vector.shape[0]:
+            raise ConfigurationError(
+                f"matrix {self._matrix.shape} and vector {self._vector.shape} mismatch"
+            )
+        if self.strategy is WorkerStrategy.SILENT:
+            self._claimed = None
+            return None
+        self.counter.mul(multiplications)
+        self.counter.add(additions)
+        return self._finish_compute(self.field.array(true_product).reshape(-1))
+
+    def _finish_compute(self, true_product: np.ndarray) -> np.ndarray:
+        """Apply the (possibly cheating) broadcast strategy to the true product."""
         if self.strategy is WorkerStrategy.HONEST:
             self._claimed = true_product
             return true_product.copy()
@@ -111,6 +144,11 @@ class Worker:
     @property
     def claimed_result(self) -> np.ndarray | None:
         return None if self._claimed is None else self._claimed.copy()
+
+    @property
+    def vector_length(self) -> int | None:
+        """Length of the delegated vector ``X``, or ``None`` before any compute."""
+        return None if self._vector is None else int(self._vector.shape[0])
 
     # -- query answering ----------------------------------------------------------------
     def answer_query(self, row_index: int, start: int, stop: int) -> int | None:

@@ -22,7 +22,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description="csm-lint: determinism & protocol-invariant static analysis",
     )
-    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to analyze (default: the default-paths "
+            "list from [tool.csm-lint])"
+        ),
+    )
     parser.add_argument(
         "--baseline",
         metavar="FILE",
@@ -79,13 +86,22 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    if not args.paths:
-        parser.error("at least one path to analyze is required")
-    missing = [p for p in args.paths if not Path(p).exists()]
-    if missing:
-        parser.error(f"no such path(s): {', '.join(missing)}")
+    if args.paths:
+        missing = [p for p in args.paths if not Path(p).exists()]
+        if missing:
+            parser.error(f"no such path(s): {', '.join(missing)}")
+        paths = list(args.paths)
+    else:
+        # Configured roots may be absent when invoked from an unrelated
+        # working directory; explicit paths above still error.
+        paths = [p for p in config.default_paths if Path(p).exists()]
+        if not paths:
+            parser.error(
+                "no paths to analyze: pass paths explicitly or set "
+                "default-paths in [tool.csm-lint]"
+            )
 
-    findings = engine.check_paths(args.paths)
+    findings = engine.check_paths(paths)
 
     if args.write_baseline:
         if not args.baseline:

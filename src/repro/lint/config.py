@@ -17,6 +17,11 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - 3.10 fallback
     tomllib = None  # type: ignore[assignment]
 
+#: Default analysis roots used when ``python -m repro.lint`` is invoked
+#: without positional paths.  Projects widen this via ``default-paths`` in
+#: ``[tool.csm-lint]`` (this repository lints ``src`` and ``examples``).
+DEFAULT_LINT_PATHS = ("src",)
+
 #: Default site(s) allowed to construct RNG streams (DET001).  Everything
 #: else must accept a ``numpy.random.Generator`` or call
 #: :func:`repro.rng.default_stream` / :func:`repro.rng.derived_stream`.
@@ -42,6 +47,7 @@ class LintConfig:
 
     disable: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
+    default_paths: tuple[str, ...] = DEFAULT_LINT_PATHS
     rng_allowed_paths: tuple[str, ...] = DEFAULT_RNG_ALLOWED
     clock_allowed_paths: tuple[str, ...] = DEFAULT_CLOCK_ALLOWED
     count_paths: tuple[str, ...] = DEFAULT_COUNT_PATHS
@@ -72,6 +78,7 @@ class LintConfig:
 _TUPLE_KEYS = {
     "disable": "disable",
     "exclude": "exclude",
+    "default-paths": "default_paths",
     "rng-allowed-paths": "rng_allowed_paths",
     "clock-allowed-paths": "clock_allowed_paths",
     "count-paths": "count_paths",

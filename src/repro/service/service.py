@@ -468,6 +468,17 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             ticket._commit(record.round_index, tick=self.clock.now)
             if record.correct:
                 self._finish_execute(ticket, record.result.outputs[k])
+            elif record.result.diagnostics.get("confirmed_fraud"):
+                # Delegated-verification backends convict their worker in the
+                # round diagnostics; surface the distinct cause so clients can
+                # branch (resubmit immediately — a fresh election replaces the
+                # worker) without parsing prose.
+                self._finish_fail(
+                    ticket,
+                    f"round {record.round_index} rejected: confirmed "
+                    "delegated-verification fraud; output withheld",
+                    FailureReason.DELEGATION_FRAUD,
+                )
             else:
                 self._finish_fail(
                     ticket,

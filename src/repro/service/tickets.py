@@ -72,6 +72,11 @@ class FailureReason(enum.Enum):
     #: Consensus decided a different command than the scheduler submitted
     #: for this slot — a safety violation surfaced to the client.
     CONSENSUS_MISMATCH = "consensus-mismatch"
+    #: A delegated-verification round (INTERMIX) convicted its worker of
+    #: fraud: an accusation transcript verified, or the worker never
+    #: broadcast.  The round was voided — no output, no state advance — so
+    #: resubmitting is safe (a fresh committee election picks a new worker).
+    DELEGATION_FRAUD = "delegation-fraud"
     #: Round resolution aborted after the backend returned (record-count
     #: mismatch, or a sibling slot's consensus mismatch) — the whole tick's
     #: open tickets are failed rather than stranded.

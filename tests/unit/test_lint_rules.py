@@ -646,6 +646,15 @@ class TestConfig:
         config = load_config(tmp_path / "nope.toml")
         assert config.rng_allowed_paths == ("repro/rng.py",)
         assert "repro/analysis/measurement.py" in config.clock_allowed_paths
+        assert config.default_paths == ("src",)
+
+    def test_default_paths_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.csm-lint]\ndefault-paths = ["src", "examples"]\n'
+        )
+        config = load_config(pyproject)
+        assert config.default_paths == ("src", "examples")
 
     def test_path_matching_directory_pattern(self):
         config = LintConfig()
@@ -655,14 +664,18 @@ class TestConfig:
 
 
 class TestRepositoryIsClean:
-    def test_src_has_zero_non_baselined_findings(self):
-        """The acceptance criterion: `python -m repro.lint src` runs clean."""
+    def test_default_paths_have_zero_non_baselined_findings(self):
+        """The acceptance criterion: `python -m repro.lint` runs clean over
+        the configured default paths (src AND examples)."""
         import pathlib
 
         repo_root = pathlib.Path(__file__).resolve().parents[2]
         config = load_config(repo_root / "pyproject.toml")
+        assert "examples" in config.default_paths
         engine = LintEngine(config=config)
-        findings = engine.check_paths([repo_root / "src"])
+        findings = engine.check_paths(
+            [repo_root / path for path in config.default_paths]
+        )
         baseline = load_baseline(repo_root / "lint-baseline.json")
         fresh = new_findings(findings, baseline)
         assert fresh == [], "\n".join(f.format_text() for f in fresh)
