@@ -1,0 +1,269 @@
+"""Chaos benchmarks — fault injection, crash recovery and round retry.
+
+Enabled with ``--chaos``.  One deterministic scenario drives an N=16 service
+through a crash/recover schedule (erasures inside the decoding radius — no
+round may fail) and a corrupt burst *beyond* the radius (rounds fail, the
+`RetryPolicy` resubmits, every ticket still lands ``EXECUTED``).  The
+``--json`` artifact records:
+
+* ``chaos-recovery`` (deterministic): recovered/executed ticket counts — a
+  pure function of the seeded scenario, raw-comparable across machines;
+* ``chaos-wall`` (wall-clock, ``--raw`` only): recovered tickets per second
+  through the full inject/fail/retry/heal loop;
+* ``chaos_fault_free_overhead`` (ratio, gated ``max``): total protocol
+  operations with the *idle* fault plane (empty schedule + retry machinery)
+  over the plain service — the standing bit-identity oracle makes this
+  exactly 1.0, so any rise means the fault plane started costing work when
+  no faults are scheduled.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.measurement import wall_clock
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.faults import FaultSchedule
+from repro.gf.prime_field import PrimeField
+from repro.machine.library import bank_account_machine
+from repro.rng import default_stream
+from repro.service import CSMService, RetryPolicy, TicketState
+
+#: N=16, K=4, degree 1 → threshold 4, decoding radius (16-4)//2 = 6:
+#: crashes of up to six nodes are erasures; seven corrupt rows fail a round.
+NUM_NODES = 16
+NUM_MACHINES = 4
+CLIENT_ROUNDS = 8
+BURST_NODES = 7
+
+
+def _protocol(seed=7):
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    config = CSMConfig(
+        field,
+        num_nodes=NUM_NODES,
+        num_machines=NUM_MACHINES,
+        degree=machine.degree,
+        num_faults=1,
+    )
+    return CSMProtocol(config, machine, rng=default_stream(seed))
+
+
+def _crash_schedule():
+    """Crash/recover only: two nodes down for rounds [2, 4), resynced after."""
+    return (
+        FaultSchedule()
+        .crash("node-0", at=2, until=4)
+        .crash("node-1", at=2, until=4)
+    )
+
+
+def _chaos_schedule():
+    """Crash/recover plus a beyond-radius corrupt burst at rounds [5, 7)."""
+    schedule = _crash_schedule()
+    for i in range(BURST_NODES):
+        schedule.behavior(f"node-{i}", "corrupt", at=5, until=7)
+    return schedule
+
+
+def _drive(service, rounds=CLIENT_ROUNDS):
+    session = service.connect("chaos-client")
+    tickets = []
+    for r in range(rounds):
+        for k in range(NUM_MACHINES):
+            tickets.append(session.submit(k, [100 + 10 * r + k, 1]))
+        service.drive(flush=True)
+    service.drain()
+    return tickets
+
+
+def _total_operations(protocol):
+    return sum(
+        sum(record.result.ops_per_node.values()) for record in protocol.history
+    )
+
+
+def chaos_rows():
+    """The scenario sweep behind the artifact: smoke, chaos and overhead."""
+    # Crash/recover inside the radius: erasures only, nothing fails.
+    crash_protocol = _protocol()
+    crash_service = CSMService(
+        crash_protocol,
+        retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+        faults=_crash_schedule(),
+    )
+    crash_tickets = _drive(crash_service)
+    crash_report = crash_service.fault_report()
+
+    # Full chaos: the corrupt burst fails rounds that retry back to health.
+    start = wall_clock()
+    chaos_protocol = _protocol()
+    chaos_service = CSMService(
+        chaos_protocol,
+        retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+        faults=_chaos_schedule(),
+    )
+    chaos_tickets = _drive(chaos_service)
+    elapsed = wall_clock() - start
+    chaos_report = chaos_service.fault_report()
+
+    # Idle fault plane versus plain service: the bit-identity oracle in ops.
+    plain_tickets = _drive(CSMService(plain := _protocol()))
+    guarded_tickets = _drive(
+        CSMService(
+            guarded := _protocol(),
+            retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+            faults=FaultSchedule(),
+        )
+    )
+    overhead = _total_operations(guarded) / _total_operations(plain)
+
+    return {
+        "crash": {
+            "tickets": crash_tickets,
+            "protocol": crash_protocol,
+            "report": crash_report,
+        },
+        "chaos": {
+            "tickets": chaos_tickets,
+            "protocol": chaos_protocol,
+            "report": chaos_report,
+            "wall_seconds": elapsed,
+        },
+        "overhead": {
+            "ratio": overhead,
+            "plain_tickets": plain_tickets,
+            "guarded_tickets": guarded_tickets,
+        },
+    }
+
+
+def test_chaos_smoke_crash_recover_n16(benchmark, chaos_mode):
+    """N=16 crash/recover schedule: erasures within the radius, no failures."""
+    if not chaos_mode:
+        pytest.skip("pass --chaos to run the chaos benchmarks")
+
+    def run():
+        protocol = _protocol()
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+            faults=_crash_schedule(),
+        )
+        return protocol, service, _drive(service)
+
+    protocol, service, tickets = benchmark(run)
+    assert all(t.state is TicketState.EXECUTED for t in tickets)
+    assert protocol.failed_rounds == 0
+    report = service.fault_report()
+    assert report.applied_events == report.injected_events == 4
+    assert report.crashed_nodes == []
+    assert report.retried_commands == 0
+
+
+def test_chaos_burst_recovers_every_ticket(benchmark, chaos_mode):
+    """Beyond-radius burst: rounds fail, retries drain, liveness holds."""
+    if not chaos_mode:
+        pytest.skip("pass --chaos to run the chaos benchmarks")
+
+    def run():
+        protocol = _protocol()
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+            faults=_chaos_schedule(),
+        )
+        return protocol, service, _drive(service)
+
+    protocol, service, tickets = benchmark(run)
+    assert all(t.state is TicketState.EXECUTED for t in tickets)
+    assert protocol.failed_rounds == 2
+    report = service.fault_report()
+    assert report.recovered_tickets == 2 * NUM_MACHINES
+    assert report.exhausted_tickets == 0
+    assert report.applied_events == report.injected_events
+
+
+def test_chaos_fault_free_overhead_is_unity(benchmark, chaos_mode):
+    """Idle fault plane costs zero protocol operations (bit-identity oracle)."""
+    if not chaos_mode:
+        pytest.skip("pass --chaos to run the chaos benchmarks")
+
+    def run():
+        plain = _protocol()
+        _drive(CSMService(plain))
+        guarded = _protocol()
+        _drive(
+            CSMService(
+                guarded,
+                retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+                faults=FaultSchedule(),
+            )
+        )
+        return plain, guarded
+
+    plain, guarded = benchmark(run)
+    assert _total_operations(guarded) == _total_operations(plain)
+
+
+def test_chaos_json_artifact(json_artifact_path, chaos_mode):
+    """Write the ``BENCH_chaos.json`` perf-trajectory artifact.
+
+    Enabled by ``--json PATH`` together with ``--chaos``.  The gate block
+    marks the recovery counts deterministic (exact across machines), the
+    recovered-tickets/sec rate wall-clock (``--raw`` only), and gates the
+    fault-free overhead ratio ``max`` — it is exactly 1.0 by the standing
+    bit-identity oracle, so CI's 5% tolerance catches any run where the
+    idle fault plane starts adding protocol work.
+    """
+    if json_artifact_path is None or not chaos_mode:
+        pytest.skip("pass --chaos --json PATH to write the artifact")
+
+    rows = chaos_rows()
+    chaos = rows["chaos"]
+    assert all(t.state is TicketState.EXECUTED for t in chaos["tickets"])
+    assert all(t.state is TicketState.EXECUTED for t in rows["crash"]["tickets"])
+    report = chaos["report"]
+
+    artifact = {
+        "artifact": "BENCH_chaos",
+        "config": {
+            "num_nodes": NUM_NODES,
+            "num_machines": NUM_MACHINES,
+            "client_rounds": CLIENT_ROUNDS,
+            "machine": "bank_account(2)",
+            "crash_window": [2, 4],
+            "burst_window": [5, 7],
+            "burst_nodes": BURST_NODES,
+            "retry": {"max_attempts": 4, "backoff_ticks": 1},
+        },
+        "gate": {
+            "deterministic_modes": ["chaos-recovery"],
+            "wall_clock_modes": ["chaos-wall"],
+            "ratio_metrics": [["chaos_fault_free_overhead", "max"]],
+        },
+        "modes": {
+            "chaos-recovery": {
+                "recovered_tickets": report.recovered_tickets,
+                "executed_tickets": sum(
+                    1
+                    for t in chaos["tickets"]
+                    if t.state is TicketState.EXECUTED
+                ),
+                "applied_fault_events": report.applied_events,
+            },
+            "chaos-wall": {
+                "recovered_tickets_per_sec": report.recovered_tickets
+                / chaos["wall_seconds"],
+            },
+        },
+        "chaos_fault_free_overhead": rows["overhead"]["ratio"],
+        "failed_rounds": chaos["protocol"].failed_rounds,
+        "retried_commands": report.retried_commands,
+        "exhausted_tickets": report.exhausted_tickets,
+    }
+    with open(json_artifact_path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=False)
+        handle.write("\n")

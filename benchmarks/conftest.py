@@ -93,6 +93,18 @@ def pytest_addoption(parser):
     )
 
     parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help=(
+            "Enable the chaos benchmarks (bench_fig_chaos: deterministic "
+            "fault schedules over the service — crash/recover with resync, "
+            "beyond-radius corrupt bursts retried by RetryPolicy, and the "
+            "fault-free overhead ratio pinned at 1.0)."
+        ),
+    )
+
+    parser.addoption(
         "--delegation",
         action="store_true",
         default=False,
@@ -168,6 +180,12 @@ def consensus_oracle_mode(request) -> bool:
 def traffic_mode(request) -> bool:
     """Whether ``--traffic`` was passed on the command line."""
     return bool(request.config.getoption("--traffic"))
+
+
+@pytest.fixture(scope="session")
+def chaos_mode(request) -> bool:
+    """Whether ``--chaos`` was passed on the command line."""
+    return bool(request.config.getoption("--chaos"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Chaos demo: crash two nodes mid-run and watch the service heal itself.
+
+A `CSMService` over an N=12 Coded State Machine serves three logical bank
+accounts while a deterministic `FaultSchedule` makes life difficult:
+
+* rounds 2-3: nodes 0 and 1 crash (silent, contributing no coded rows) and
+  rejoin with a state resync at round 4 — erasures within the decoding
+  radius, absorbed without a single failed round;
+* rounds 5-6: five nodes return corrupt coded rows — *beyond* the radius,
+  so those rounds fail verification and the `RetryPolicy` re-enqueues the
+  affected commands with backoff until they execute.
+
+Everything is seeded through `repro.rng`, so every run prints the same
+ticket timeline, the same retry counts and the same fault report.
+
+Run with:  python examples/chaos_demo.py
+"""
+
+from repro.core import CSMConfig, CSMProtocol
+from repro.faults import FaultSchedule
+from repro.gf import PrimeField
+from repro.machine import bank_account_machine
+from repro.rng import default_stream
+from repro.service import CSMService, RetryPolicy, TicketState
+
+NUM_NODES = 12
+NUM_MACHINES = 3
+NUM_ROUNDS = 8
+
+
+def build_schedule() -> FaultSchedule:
+    schedule = FaultSchedule()
+    # Two nodes crash during rounds [2, 4) and are resynced on recovery.
+    schedule.crash("node-0", at=2, until=4)
+    schedule.crash("node-1", at=2, until=4)
+    # Five corrupt rows exceed the decoding radius (4 at N=12, K=3), so
+    # rounds [5, 7) fail and must be retried.
+    for i in range(5):
+        schedule.behavior(f"node-{i}", "corrupt", at=5, until=7)
+    return schedule
+
+
+def main() -> None:
+    field = PrimeField()
+    machine = bank_account_machine(field, num_accounts=2)
+    config = CSMConfig(
+        field,
+        num_nodes=NUM_NODES,
+        num_machines=NUM_MACHINES,
+        degree=machine.degree,
+        num_faults=1,
+    )
+    protocol = CSMProtocol(config, machine, rng=default_stream(7))
+    service = CSMService(
+        protocol,
+        retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+        faults=build_schedule(),
+    )
+    session = service.connect("chaos-client")
+
+    tickets = []
+    for round_index in range(NUM_ROUNDS):
+        for k in range(NUM_MACHINES):
+            tickets.append(session.submit(k, [100 + 10 * round_index + k, 1]))
+        service.drive(flush=True)
+    service.drain()
+
+    print(f"N={NUM_NODES} nodes, K={NUM_MACHINES} machines, "
+          f"{NUM_ROUNDS} client rounds under chaos\n")
+    print("ticket  machine  attempts  lifecycle")
+    for index, ticket in enumerate(tickets):
+        path = " -> ".join(state.value for state in ticket.state_history)
+        print(f"{index:6d}  {ticket.machine_index:7d}  {ticket.attempts:8d}  {path}")
+
+    assert all(t.state is TicketState.EXECUTED for t in tickets)
+
+    report = service.fault_report()
+    print(f"\nbackend rounds driven : {len(protocol.history)}")
+    print(f"failed (retried) rounds: {protocol.failed_rounds}")
+    print(f"fault events applied   : {report.applied_events}/{report.injected_events}")
+    print(f"commands retried       : {report.retried_commands}")
+    print(f"tickets recovered      : {report.recovered_tickets}")
+    print(f"tickets exhausted      : {report.exhausted_tickets}")
+    print(f"still-crashed nodes    : {report.crashed_nodes or 'none'}")
+    print("\nEvery ticket EXECUTED: the service healed around both faults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -96,10 +96,17 @@ class ConsensusProtocol(ABC):
     def _vectorised_plane_available(self) -> bool:
         """Whether :meth:`decide_rounds` can run on the vectorised plane."""
         network = getattr(self, "network", None)
+        # An active link-fault state (drops, partitions, added latency from
+        # the fault-injection plane) is only honoured by the scalar
+        # send/deliver paths, so while faults are live the rounds take the
+        # sequential oracle — which is bit-identical to the plane anyway,
+        # and heals back to the fast path when the fault state clears.
+        faults = getattr(network, "faults", None)
         return (
             self.use_vectorised_plane
             and getattr(network, "supports_phase_batches", False)
             and hasattr(self, "_decide_round_vectorised")
+            and (faults is None or not faults.active)
         )
 
     def decide_rounds(

@@ -120,6 +120,12 @@ class CodedExecutionEngine(BatchExecutionMixin):
         # fast path avoids picking these as interpolation pivots (see
         # CodedResultDecoder.decode_fast).
         self._suspects: set[int] = set()
+        # When True, a round that fails verification (or fails to decode)
+        # advances *nothing*: the reference states stay put and honest nodes
+        # keep their coded states, so resubmitting the same commands is
+        # idempotent.  The service retry path enables this; the default False
+        # preserves the legacy "the true machines move on regardless" rule.
+        self.freeze_on_failure = False
 
     # -- structural metrics --------------------------------------------------------------
     @property
@@ -147,6 +153,21 @@ class CodedExecutionEngine(BatchExecutionMixin):
             if node.node_id == node_id:
                 return node
         raise ConfigurationError(f"unknown node id {node_id}")
+
+    def resync_node(self, node_id: str) -> None:
+        """Re-install a node's coded state from the current reference states.
+
+        The state-transfer step of crash recovery (and of a Byzantine burst
+        ending): a node that sat out — or corrupted — rounds never refreshed
+        its coded row, so before it can contribute to decoding again it must
+        re-encode the current true states.  Uncounted (out-of-band repair,
+        not part of the per-round cost model); also clears the node from the
+        decoder's suspect set, since its row is now trustworthy.
+        """
+        node = self.node_by_id(node_id)
+        coded = self.encoder.encode(self.states)
+        node.storage.replace(coded[node.node_index])
+        self._suspects.discard(node.node_index)
 
     # -- round execution ------------------------------------------------------------------
     def execute_round(self, commands: np.ndarray) -> RoundResult:
@@ -270,10 +291,12 @@ class CodedExecutionEngine(BatchExecutionMixin):
             )
         batch_arr = self._validate_batch(commands_batch)
         batch_eval = getattr(self.machine.transition, "evaluate_result_vectors", None)
-        if self.decode_at_every_node or batch_eval is None:
-            # Per-recipient decoding models equivocation, and non-polynomial
-            # transitions have no stacked surface to speculate over: in both
-            # cases the batched/scalar path runs unchanged.
+        if self.decode_at_every_node or batch_eval is None or self.freeze_on_failure:
+            # Per-recipient decoding models equivocation, non-polynomial
+            # transitions have no stacked surface to speculate over, and
+            # freeze-on-failure contradicts speculation (which eagerly
+            # advances state every round): in all three cases the
+            # batched/scalar path runs unchanged.
             return self.execute_rounds(batch_arr)
         coded_commands = self.encoder.encode_batch(batch_arr)
         num_rounds = batch_arr.shape[0]
@@ -780,8 +803,15 @@ class CodedExecutionEngine(BatchExecutionMixin):
                 np.array_equal(decoded_outputs, reference_results)
             )
 
+        # A frozen round (retry mode, verification or decode failed) must
+        # not advance anything — neither the honest coded states (a refresh
+        # from a wrong decode would desynchronise them from the frozen
+        # reference) nor the reference states below — so the same commands
+        # can be re-driven later against identical state.
+        frozen = self.freeze_on_failure and (decoding_failed or not correct)
+
         # Step 4: honest nodes refresh their coded states from the decoded states.
-        if not decoding_failed:
+        if not decoding_failed and not frozen:
             if batched:
                 self._update_honest_states_batched(decoded_states)
             else:
@@ -800,8 +830,12 @@ class CodedExecutionEngine(BatchExecutionMixin):
             # per-node decode counters were already merged inside _decode_phase
             pass
 
-        # Advance the reference state (the true machines move on regardless).
-        self.states = reference_states
+        # Advance the reference state (the true machines move on regardless
+        # — unless the round is frozen for retry).
+        if frozen:
+            diagnostics["state_frozen"] = True
+        else:
+            self.states = reference_states
         self.round_index += 1
         diagnostics.update(
             {

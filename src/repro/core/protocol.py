@@ -313,6 +313,69 @@ class CSMProtocol(RoundProtocol):
         behavior = self.behaviors.get(node_id)
         return behavior is not None and behavior.is_faulty
 
+    # -- fault plane --------------------------------------------------------------------
+    def set_node_behavior(
+        self, node_id: str, behavior: ByzantineBehavior | None
+    ) -> None:
+        """Install (or with ``None`` clear) one node's behaviour everywhere.
+
+        The behaviour map is consulted by three layers — this protocol's
+        decision selection, the consensus protocol and the execution engine's
+        per-node strategy objects — and all of them read it live, so swapping
+        an entry here changes the node's conduct from the next round on.
+        This is the primitive the fault-injection plane uses for crash
+        (install a :class:`~repro.net.byzantine.CrashedBehavior`) and
+        recovery (clear it, then :meth:`resync_node`).
+        """
+        node = self.engine.node_by_id(node_id)  # validates the id
+        if behavior is None:
+            from repro.net.byzantine import HonestBehavior
+
+            self.behaviors.pop(node_id, None)
+            self.consensus.behaviors.pop(node_id, None)
+            self.engine.behaviors.pop(node_id, None)
+            node.behavior = HonestBehavior()
+        else:
+            self.behaviors[node_id] = behavior
+            self.consensus.behaviors[node_id] = behavior
+            self.engine.behaviors[node_id] = behavior
+            node.behavior = behavior
+
+    def node_behavior(self, node_id: str) -> ByzantineBehavior | None:
+        """The configured behaviour for ``node_id`` (``None`` when honest)."""
+        return self.behaviors.get(node_id)
+
+    def resync_node(self, node_id: str) -> None:
+        """State-transfer a recovered node (see
+        :meth:`CodedExecutionEngine.resync_node`)."""
+        self.engine.resync_node(node_id)
+
+    def resolve_fault_target(self, target: str, round_index: int) -> str:
+        """Resolve an adaptive fault target to a concrete node id.
+
+        ``"@primary"`` names the node that will lead ``round_index`` at view
+        0 (the view-change path makes later views unpredictable at schedule
+        time, which is exactly why hitting the initial primary is the
+        interesting adversary).  Literal node ids pass through validated.
+        """
+        if target == "@primary":
+            primary_for = getattr(self.consensus, "primary_for", None)
+            if primary_for is None:
+                primary_for = self.consensus.leader_for
+            return primary_for(round_index, 0)
+        if target.startswith("@"):
+            raise ConfigurationError(
+                f"adaptive fault target {target!r} is not supported by "
+                "CSMProtocol (only '@primary')"
+            )
+        if target not in self.node_ids:
+            raise ConfigurationError(f"unknown fault target node {target!r}")
+        return target
+
+    def freeze_failed_rounds(self) -> None:
+        """Make failed rounds leave all state unadvanced (retry support)."""
+        self.engine.freeze_on_failure = True
+
     # Round recording, verified-only delivery and the reporting surface
     # (``all_rounds_correct``, ``failed_rounds``, ``measured_throughput``)
     # are inherited from RoundProtocol — shared with the replication facade.

@@ -1,0 +1,27 @@
+"""Deterministic fault-injection plane (crash/recovery, bursts, partitions).
+
+The subsystem has three pieces:
+
+* :class:`~repro.faults.schedule.FaultSchedule` — a declarative, composable
+  list of fault events keyed by (round, target): crash/recover, Byzantine
+  behaviour bursts, message-drop and delay bursts, group partitions, with
+  adaptive targets (``"@primary"``, ``"@worker"``) resolved at injection
+  time;
+* :class:`~repro.faults.injector.FaultInjector` — applies a schedule to a
+  round-driving backend at exact round boundaries by splitting each batch
+  into constant-fault-state segments;
+* :class:`~repro.faults.report.FaultReport` — the observability record
+  (injected vs. applied events, retries, recovered tickets) merged into
+  ``qos_report()`` and the bench artifacts.
+
+Everything is rng-stream-deterministic: behaviour swaps consume no
+randomness, and the network fault switchboard is consulted *after* each
+delay draw, so an empty schedule leaves every stream and counter
+bit-identical to a run without the fault plane.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.report import FaultReport
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultReport", "FaultSchedule"]

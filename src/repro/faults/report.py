@@ -1,0 +1,62 @@
+"""The fault observability record merged into ``qos_report()``.
+
+One :class:`FaultReport` summarises what the fault plane *injected* (the
+schedule's events), what it actually *applied* so far (events beyond the
+driven rounds stay pending), and how the self-healing service responded
+(retries, recovered tickets, exhausted tickets).  The sharded façade merges
+its per-shard reports and appends the shard-health timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class FaultReport:
+    """Injected vs. observed fault events plus the service's retry response."""
+
+    injected_events: int = 0
+    applied_events: int = 0
+    pending_events: int = 0
+    events: list[dict[str, object]] = field(default_factory=list)
+    crashed_nodes: list[str] = field(default_factory=list)
+    dropped_messages: int = 0
+    retried_commands: int = 0
+    recovered_tickets: int = 0
+    exhausted_tickets: int = 0
+    retry_backlog: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly view, always fully populated (zeroes when idle)."""
+        return {
+            "injected_events": self.injected_events,
+            "applied_events": self.applied_events,
+            "pending_events": self.pending_events,
+            "events": list(self.events),
+            "crashed_nodes": list(self.crashed_nodes),
+            "dropped_messages": self.dropped_messages,
+            "retried_commands": self.retried_commands,
+            "recovered_tickets": self.recovered_tickets,
+            "exhausted_tickets": self.exhausted_tickets,
+            "retry_backlog": self.retry_backlog,
+        }
+
+    @classmethod
+    def merge(cls, reports: Iterable["FaultReport"]) -> "FaultReport":
+        """Sum counters and concatenate event lists across shards."""
+        merged = cls()
+        for report in reports:
+            merged.injected_events += report.injected_events
+            merged.applied_events += report.applied_events
+            merged.pending_events += report.pending_events
+            merged.events.extend(report.events)
+            merged.crashed_nodes.extend(report.crashed_nodes)
+            merged.dropped_messages += report.dropped_messages
+            merged.retried_commands += report.retried_commands
+            merged.recovered_tickets += report.recovered_tickets
+            merged.exhausted_tickets += report.exhausted_tickets
+            merged.retry_backlog += report.retry_backlog
+        merged.crashed_nodes = sorted(set(merged.crashed_nodes))
+        return merged

@@ -89,16 +89,28 @@ class CommitteeElection:
         """Probability that every elected auditor is dishonest: ``mu**J``."""
         return float(self.fault_fraction**self.committee_size)
 
-    def elect(self) -> Committee:
+    def elect(self, exclude: set[str] | frozenset[str] = frozenset()) -> Committee:
         """Sample a worker and J distinct auditors uniformly at random.
 
         The worker and the auditors are disjoint (an auditor auditing itself
         would be pointless); the remaining nodes are commoners.
+
+        ``exclude`` names nodes barred from the *worker* role — the paper's
+        banning of convicted workers.  The election still draws exactly one
+        permutation: the worker is the first non-excluded node in it, the
+        auditors the next J nodes after removing the worker, so with
+        ``exclude`` empty the outcome (and the rng stream) is bit-identical
+        to the unbanned election.  If every node is excluded the ban list
+        is moot and the plain election applies.
         """
-        order = list(self.rng.permutation(self.node_ids))
-        worker = str(order[0])
-        auditors = [str(n) for n in order[1 : 1 + self.committee_size]]
-        commoners = [str(n) for n in order[1 + self.committee_size :]]
+        order = [str(n) for n in self.rng.permutation(self.node_ids)]
+        eligible = [n for n in order if n not in exclude]
+        if not eligible:
+            eligible = order
+        worker = eligible[0]
+        rest = [n for n in order if n != worker]
+        auditors = rest[: self.committee_size]
+        commoners = rest[self.committee_size :]
         return Committee(worker=worker, auditors=auditors, commoners=commoners)
 
     def elect_by_self_election(self) -> Committee:

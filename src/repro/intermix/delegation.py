@@ -109,8 +109,10 @@ class DelegatedCodingService:
         self._omega_matrix_cache: dict[int, np.ndarray] = {}
 
     # -- committee handling ---------------------------------------------------------------
-    def elect_committee(self) -> Committee:
-        return self.intermix.election.elect()
+    def elect_committee(
+        self, exclude: set[str] | frozenset[str] = frozenset()
+    ) -> Committee:
+        return self.intermix.election.elect(exclude=exclude)
 
     # -- operation 1/2: encoding commands and updating states ------------------------------
     def encode_vectors_verified(

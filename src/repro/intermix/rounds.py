@@ -111,6 +111,11 @@ class DelegationRoundProtocol(RoundProtocol):
         )
         # The genesis encoding is public setup, not delegated round work.
         self._coded_states = self.scheme.encode_vectors(initial_states)
+        # Workers convicted of fraud are banned from the worker role in
+        # later elections (the paper's banning of cheaters), so a retried
+        # batch lands on a different worker instead of the same cheater.
+        self.convicted_workers: set[str] = set()
+        self.current_worker: str | None = None
         self._init_round_state()
 
     # -- RoundProtocol surface ---------------------------------------------------------
@@ -129,16 +134,51 @@ class DelegationRoundProtocol(RoundProtocol):
                 f"got {len(client_rounds)} client rounds for {len(rounds)} "
                 "command rounds"
             )
-        # One election (a single rng permutation draw) serves the whole batch.
-        committee = self.delegation.elect_committee()
+        # One election (a single rng permutation draw) serves the whole batch
+        # — unless a round convicts its worker, which bans the cheater and
+        # re-elects mid-batch so the batch's remaining rounds (and any later
+        # retry) land on a different worker.  With no convictions the rng
+        # stream is bit-identical to the single-election batch.
+        committee = self.delegation.elect_committee(exclude=self.convicted_workers)
+        self.current_worker = committee.worker
         records: list[ProtocolRound] = []
         for index, commands in enumerate(rounds):
             if client_rounds is None:
                 clients = [f"client:{k}" for k in range(self.num_machines)]
             else:
                 clients = [str(c) for c in client_rounds[index]]
-            records.append(self._execute_round(commands, clients, committee))
+            record = self._execute_round(commands, clients, committee)
+            records.append(record)
+            if record.result.diagnostics.get("confirmed_fraud"):
+                self.convicted_workers.add(committee.worker)
+                if len(self.convicted_workers) >= len(self.node_ids):
+                    # Every node stands convicted: the ban list is moot, so
+                    # reset it rather than electing from an empty pool.
+                    self.convicted_workers.clear()
+                if index + 1 < len(rounds):
+                    committee = self.delegation.elect_committee(
+                        exclude=self.convicted_workers
+                    )
+                    self.current_worker = committee.worker
         return records
+
+    def resolve_fault_target(self, target: str, round_index: int) -> str:
+        """Resolve ``"@worker"`` (the currently elected worker) or a literal id."""
+        if target == "@worker":
+            if self.current_worker is None:
+                raise ConfigurationError(
+                    "no committee elected yet; '@worker' resolves only after "
+                    "the first batch"
+                )
+            return self.current_worker
+        if target.startswith("@"):
+            raise ConfigurationError(
+                f"unknown adaptive fault target {target!r}; the delegation "
+                "backend resolves only '@worker'"
+            )
+        if target not in self.node_ids:
+            raise ConfigurationError(f"unknown fault target node {target!r}")
+        return target
 
     # -- internals ---------------------------------------------------------------------
     def _canonical_round(self, commands: np.ndarray) -> np.ndarray:

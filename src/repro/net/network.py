@@ -158,6 +158,80 @@ class _Mailbox:
         return out
 
 
+class NetworkFaultState:
+    """Mutable link-fault switchboard consulted by :class:`SimulatedNetwork`.
+
+    The fault-injection plane (:mod:`repro.faults`) flips these fields at
+    round boundaries to model message-drop bursts, added-latency bursts and
+    group partitions.  The network consults the state *after* sampling each
+    copy's delay from the shared rng stream, so activating or clearing
+    faults never shifts the stream: a run whose fault state stays inactive
+    is bit-identical to one without the switchboard at all.
+
+    Partition semantics: ``partition`` holds disjoint node groups; a copy
+    whose sender and recipient sit in *different* groups is dropped, while
+    endpoints outside every group (clients, for instance) stay reachable
+    from everywhere.
+    """
+
+    def __init__(self) -> None:
+        #: Every copy to or from these nodes is dropped.
+        self.dropped_nodes: set[str] = set()
+        #: Directed ``(sender, recipient)`` pairs to drop.
+        self.dropped_links: set[tuple[str, str]] = set()
+        #: Disjoint groups; cross-group copies are dropped.
+        self.partition: list[frozenset[str]] | None = None
+        #: Extra latency added to every delivery while non-zero.
+        self.extra_delay: float = 0.0
+        #: Copies dropped by this switchboard (observability counter).
+        self.dropped_messages = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault is currently configured (counters excluded)."""
+        return bool(
+            self.dropped_nodes
+            or self.dropped_links
+            or self.partition is not None
+            or self.extra_delay
+        )
+
+    def clear(self) -> None:
+        """Heal every configured fault (the drop counter is preserved)."""
+        self.dropped_nodes.clear()
+        self.dropped_links.clear()
+        self.partition = None
+        self.extra_delay = 0.0
+
+    def set_partition(self, groups: Iterable[Iterable[str]] | None) -> None:
+        self.partition = (
+            None if groups is None else [frozenset(map(str, g)) for g in groups]
+        )
+
+    def should_drop(self, sender: str, recipient: str) -> bool:
+        """Whether the configured faults sever this (directed) link."""
+        if sender == recipient:
+            return False
+        if sender in self.dropped_nodes or recipient in self.dropped_nodes:
+            return True
+        if (sender, recipient) in self.dropped_links:
+            return True
+        if self.partition is not None:
+            sender_group = recipient_group = None
+            for group in self.partition:
+                if sender in group:
+                    sender_group = group
+                if recipient in group:
+                    recipient_group = group
+            if (
+                sender_group is not None
+                and recipient_group is not None
+                and sender_group is not recipient_group
+            ):
+                return True
+        return False
+
+
 class SimulatedNetwork:
     """Fully connected message-passing network with signed messages."""
 
@@ -180,6 +254,8 @@ class SimulatedNetwork:
         self.rejected_signatures = 0
         self.messages_sent = 0
         self._bulk_delivery = False
+        #: Link-fault switchboard; inactive by default (bit-identical path).
+        self.faults = NetworkFaultState()
 
     # -- membership -------------------------------------------------------------
     def register(self, node_id: str) -> None:
@@ -207,9 +283,18 @@ class SimulatedNetwork:
         send_time = self.scheduler.now
         delay = self.delay_model.sample_delay(send_time, self.rng)
         delivery_time = send_time + delay
-        record = DeliveryRecord(message, send_time, delivery_time)
+        # Fault state applies *after* the rng draw, so (de)activating faults
+        # never shifts the delay stream.
+        dropped = False
+        if self.faults.active:
+            delivery_time += self.faults.extra_delay
+            dropped = self.faults.should_drop(message.sender, message.recipient)
+        record = DeliveryRecord(message, send_time, delivery_time, delivered=not dropped)
         self.delivery_log.append(record)
         self.messages_sent += 1
+        if dropped:
+            self.faults.dropped_messages += 1
+            return record
 
         def deliver() -> None:
             if not self.keys.verify(message):
@@ -283,13 +368,21 @@ class SimulatedNetwork:
                 records.append(DeliveryRecord(copy, now, now))
                 continue
             delivery_time = now + self.delay_model.sample_delay(now, self.rng)
-            record = DeliveryRecord(copy, now, delivery_time, delivered=valid)
+            dropped = False
+            if self.faults.active:
+                delivery_time += self.faults.extra_delay
+                dropped = self.faults.should_drop(message.sender, recipient)
+            record = DeliveryRecord(
+                copy, now, delivery_time, delivered=valid and not dropped
+            )
             self.delivery_log.append(record)
             self.messages_sent += 1
-            if valid:
-                mailbox.push(delivery_time, copy)
-            else:
+            if not valid:
                 self.rejected_signatures += 1
+            elif dropped:
+                self.faults.dropped_messages += 1
+            else:
+                mailbox.push(delivery_time, copy)
             records.append(record)
         return records
 

@@ -108,6 +108,17 @@ class RoundProtocol(ABC):
         """
         return self.run_rounds_batched(command_batches, client_rounds)
 
+    def freeze_failed_rounds(self) -> None:
+        """Ask the backend to leave state unadvanced when a round fails.
+
+        The retry-enabled service calls this once at construction: a backend
+        whose failed rounds would otherwise advance state must freeze it so
+        re-driving the same commands is idempotent.  The default is a no-op
+        for backends where failed rounds already leave state untouched (the
+        delegated-verification backend voids the round at genesis;
+        replication baselines never fail verification).
+        """
+
     # -- shared history/delivery --------------------------------------------------------
     def _record_round(
         self,

@@ -26,6 +26,13 @@ clients" section):
   admission control and weighted-fair slot selection
   (:class:`~repro.service.qos.WeightedFairSelection`), disabled by default
   and bit-identical to no policy when disabled;
+* :class:`~repro.service.retry.RetryPolicy` — the self-healing layer:
+  rounds failing with a retryable cause re-enqueue their commands with
+  backoff (``COMMITTED -> RETRYING -> COMMITTED``) instead of terminally
+  failing, against backends frozen via
+  :meth:`~repro.rounds.RoundProtocol.freeze_failed_rounds`; pairs with the
+  :mod:`repro.faults` injection plane and the sharded façade's
+  :class:`~repro.service.sharding.ShardHealth` tracking;
 * :mod:`repro.service.traffic` — deterministic open-loop workloads
   (:class:`~repro.service.traffic.PoissonProcess`,
   :class:`~repro.service.traffic.BurstyProcess`) and the
@@ -39,9 +46,15 @@ from repro.service.qos import (
     SelectionPolicy,
     WeightedFairSelection,
 )
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import NOOP_CLIENT, RoundScheduler, ScheduledRound
 from repro.service.service import ClientSession, CSMService
-from repro.service.sharding import ShardedClientSession, ShardedCSMService, ShardedRound
+from repro.service.sharding import (
+    ShardedClientSession,
+    ShardedCSMService,
+    ShardedRound,
+    ShardHealth,
+)
 from repro.service.tickets import (
     CommandTicket,
     FailureReason,
@@ -71,9 +84,11 @@ __all__ = [
     "OpenLoopDriver",
     "PoissonProcess",
     "QosPolicy",
+    "RetryPolicy",
     "RoundScheduler",
     "ScheduledRound",
     "SelectionPolicy",
+    "ShardHealth",
     "ShardedCSMService",
     "ShardedClientSession",
     "ShardedRound",

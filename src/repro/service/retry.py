@@ -1,0 +1,65 @@
+"""Round retry policy for the self-healing service.
+
+A :class:`RetryPolicy` tells the service what to do when a round fails
+instead of terminally failing its tickets: re-enqueue the commands (with a
+fresh sequence number) after ``backoff_ticks`` logical ticks, up to
+``max_attempts`` total attempts per ticket.  Retries only make sense for
+failure causes the backend can plausibly recover from — a verification
+failure caused by a transient fault burst, or a delegated-verification
+fraud conviction after which the cheating worker is rotated out — so the
+policy carries the set of retryable :class:`~repro.service.tickets.\
+FailureReason`\\ s.
+
+The default-constructed policy (``max_attempts=1``) is disabled: one
+attempt means no retries, and a service built with it behaves (and is
+property-tested to behave) bit-identically to one built with no policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.service.tickets import FailureReason
+
+#: Failure causes a retry can plausibly fix: transient verification
+#: failures (fault bursts beyond the decode radius) and delegation fraud
+#: (the convicted worker is rotated out before the retry lands).
+DEFAULT_RETRY_ON = frozenset(
+    {FailureReason.VERIFICATION_FAILED, FailureReason.DELEGATION_FRAUD}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and after how long, failed commands are re-driven."""
+
+    max_attempts: int = 1
+    backoff_ticks: int = 1
+    retry_on: frozenset[FailureReason] = field(default=DEFAULT_RETRY_ON)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.backoff_ticks < 0:
+            raise ConfigurationError(
+                f"backoff_ticks must be non-negative, got {self.backoff_ticks}"
+            )
+        if not all(isinstance(cause, FailureReason) for cause in self.retry_on):
+            raise ConfigurationError("retry_on must contain FailureReason members")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the policy actually retries (more than one attempt)."""
+        return self.max_attempts > 1
+
+    def describe(self) -> dict[str, object]:
+        """JSON-friendly view for ``qos_report()`` and bench artifacts."""
+        return {
+            "enabled": self.enabled,
+            "max_attempts": self.max_attempts,
+            "backoff_ticks": self.backoff_ticks,
+            "retry_on": sorted(cause.value for cause in self.retry_on),
+        }

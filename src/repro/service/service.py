@@ -40,8 +40,10 @@ import numpy as np
 
 from repro.consensus.command_pool import CommandPool, SequenceAllocator
 from repro.exceptions import ConfigurationError, ConsensusError, ServiceError
+from repro.faults import FaultInjector, FaultReport, FaultSchedule
 from repro.rounds import ProtocolRound, RoundProtocol
 from repro.service.qos import QosPolicy
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import RoundScheduler, ScheduledRound
 from repro.service.tickets import (
     CommandTicket,
@@ -132,6 +134,20 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         omitted the service owns its own clock and advances it once per
         :meth:`drive` tick; the sharded façade passes one shared clock to
         every shard and advances it at the façade tick instead.
+    retry:
+        Optional :class:`~repro.service.retry.RetryPolicy`.  When enabled
+        (``max_attempts > 1``) a round that fails with a retryable cause
+        re-enqueues its commands after ``backoff_ticks`` logical ticks
+        instead of terminally failing the tickets; the backend is asked to
+        :meth:`~repro.rounds.RoundProtocol.freeze_failed_rounds` so the
+        retry replays against unadvanced state.  ``None`` or a disabled
+        policy is bit-identical to today's fail-fast behaviour.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` (wrapped in a
+        :class:`~repro.faults.FaultInjector` over ``backend``) or a
+        pre-built injector.  Scheduled events fire at exact backend round
+        boundaries while :meth:`drive` runs; an empty schedule is
+        bit-identical to no fault plane at all.
     """
 
     def __init__(
@@ -144,6 +160,8 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         pipeline: bool = False,
         qos: QosPolicy | None = None,
         clock: LogicalClock | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultSchedule | FaultInjector | None = None,
     ) -> None:
         if not isinstance(backend, RoundProtocol):
             raise ConfigurationError(
@@ -153,9 +171,38 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             raise ConfigurationError(
                 f"qos {type(qos).__name__} is not a QosPolicy"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry {type(retry).__name__} is not a RetryPolicy"
+            )
+        if faults is None:
+            self.fault_injector: FaultInjector | None = None
+        elif isinstance(faults, FaultSchedule):
+            self.fault_injector = FaultInjector(backend, faults)
+        elif isinstance(faults, FaultInjector):
+            if faults.backend is not backend:
+                raise ConfigurationError(
+                    "fault injector was built over a different backend than "
+                    "the service's"
+                )
+            self.fault_injector = faults
+        else:
+            raise ConfigurationError(
+                f"faults {type(faults).__name__} is neither a FaultSchedule "
+                "nor a FaultInjector"
+            )
         self.backend = backend
         self.pipeline = bool(pipeline)
         self.qos = qos
+        self.retry = retry
+        if (retry is not None and retry.enabled) or self.fault_injector is not None:
+            # Failed rounds must leave the backend's state unadvanced: a
+            # retry must replay against the same state, and an injected
+            # fault burst must not desync the honest coded rows from the
+            # reference states (which would leave every post-burst round
+            # undecodable).  With no failed rounds this is a no-op, so the
+            # empty-schedule path stays bit-identical.
+            backend.freeze_failed_rounds()
         self._owns_clock = clock is None
         self.clock = clock if clock is not None else LogicalClock()
         self.pool = CommandPool(
@@ -174,6 +221,15 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         self._open_by_client: dict[str, int] = {}
         self.throttled_session = 0
         self.throttled_admission = 0
+        # Retry machinery: failed-but-retryable tickets wait here as
+        # (ready tick, ticket, machine index) until the backoff elapses;
+        # their resubmissions draw fresh pool sequences, mapped back to the
+        # original ticket so ``tickets()`` never shows duplicates.
+        self._retry_queue: list[tuple[int, CommandTicket, int]] = []
+        self._retry_sequences: dict[int, CommandTicket] = {}
+        self.retried_commands = 0
+        self.recovered_tickets = 0
+        self.exhausted_tickets = 0
 
     # -- client surface -----------------------------------------------------------------
     @property
@@ -231,6 +287,9 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         report consumers need no branching.
         """
         policy = self.qos.describe() if self.qos is not None else QosPolicy().describe()
+        retry = (
+            self.retry.describe() if self.retry is not None else RetryPolicy().describe()
+        )
         return {
             "policy": policy,
             "pending": self.pool.total_pending(),
@@ -238,7 +297,30 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             "throttled_session": self.throttled_session,
             "throttled_admission": self.throttled_admission,
             "tick": self.clock.now,
+            "retry": retry,
+            "retried_commands": self.retried_commands,
+            "recovered_tickets": self.recovered_tickets,
+            "exhausted_tickets": self.exhausted_tickets,
+            "retry_backlog": len(self._retry_queue),
+            "faults": self.fault_report().to_dict(),
         }
+
+    def fault_report(self) -> FaultReport:
+        """The fault plane's record plus this service's retry response.
+
+        Fully populated (all-zero) even without an injector or retry policy,
+        so report consumers and the sharded merge need no branching.
+        """
+        report = (
+            self.fault_injector.report()
+            if self.fault_injector is not None
+            else FaultReport()
+        )
+        report.retried_commands = self.retried_commands
+        report.recovered_tickets = self.recovered_tickets
+        report.exhausted_tickets = self.exhausted_tickets
+        report.retry_backlog = len(self._retry_queue)
+        return report
 
     # -- scheduling / driving -----------------------------------------------------------
     def drive(self, flush: bool = False) -> list[ProtocolRound]:
@@ -256,6 +338,7 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         """
         if self._owns_clock:
             self.clock.advance()
+        self._requeue_ready_retries()
         planned = self.scheduler.plan(flush=flush)
         if not planned:
             return []
@@ -265,10 +348,12 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
             else self.backend.run_rounds_batched
         )
         try:
-            records = runner(
-                [round_.commands for round_ in planned],
-                client_rounds=[round_.clients for round_ in planned],
-            )
+            commands = [round_.commands for round_ in planned]
+            clients = [round_.clients for round_ in planned]
+            if self.fault_injector is not None:
+                records = self.fault_injector.run(runner, commands, clients)
+            else:
+                records = runner(commands, client_rounds=clients)
         except Exception as exc:
             for round_ in planned:
                 self._fail_round(
@@ -297,13 +382,25 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         return records
 
     def drain(self) -> list[ProtocolRound]:
-        """Drive until every queued command has been scheduled and executed."""
+        """Drive until every queued command (and retry backlog) resolves.
+
+        Empty ticks are tolerated while the retry backlog waits out its
+        backoff — the clock advances each drive, so the backlog drains and
+        the loop terminates (attempts per ticket are bounded by the policy).
+        """
         records: list[ProtocolRound] = []
-        while self.pool.total_pending():
+        while self.pool.total_pending() or self._retry_queue:
             driven = self.drive(flush=True)
-            if not driven:  # pragma: no cover - defensive: flush always drains
+            if driven:
+                records.extend(driven)
+                continue
+            if self.pool.total_pending():  # pragma: no cover - defensive
                 raise ServiceError("scheduler made no progress while draining")
-            records.extend(driven)
+            if not self._owns_clock:  # pragma: no cover - defensive
+                raise ServiceError(
+                    "retry backlog cannot wait out its backoff on a shared "
+                    "clock; drain through the owning facade instead"
+                )
         return records
 
     # -- legacy lockstep wrapper --------------------------------------------------------
@@ -438,8 +535,38 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         if remaining > 0:
             self._open_by_client[ticket.client_id] = remaining - 1
 
+    def _ticket_for_sequence(self, sequence: int) -> CommandTicket:
+        """The ticket owning a scheduled pool entry (retries map back to
+        their original ticket, issued under an earlier sequence)."""
+        ticket = self._tickets_by_sequence.get(sequence)
+        if ticket is None:
+            ticket = self._retry_sequences[sequence]
+        return ticket
+
+    def _requeue_ready_retries(self) -> None:
+        """Resubmit retry-backlog commands whose backoff has elapsed.
+
+        Resubmission bypasses the QoS throttle checks — the ticket still
+        holds its session queue-cap slot from the original submit — and
+        draws a fresh pool sequence, mapped back to the original ticket.
+        """
+        if not self._retry_queue:
+            return
+        now = self.clock.now
+        ready = [item for item in self._retry_queue if item[0] <= now]
+        if not ready:
+            return
+        self._retry_queue = [item for item in self._retry_queue if item[0] > now]
+        for _, ticket, machine_index in ready:
+            entry = self.pool.submit(
+                machine_index, ticket.client_id, np.asarray(ticket.command)
+            )
+            self._retry_sequences[entry.sequence] = ticket
+
     def _finish_execute(self, ticket: CommandTicket, output: np.ndarray) -> None:
         ticket._execute(output, tick=self.clock.now)
+        if ticket.attempts > 1:
+            self.recovered_tickets += 1
         self._release(ticket)
 
     def _finish_fail(
@@ -448,11 +575,44 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         ticket._fail(reason, cause, tick=self.clock.now)
         self._release(ticket)
 
+    def _finish_round_failure(
+        self,
+        ticket: CommandTicket,
+        machine_index: int,
+        reason: str,
+        cause: FailureReason,
+    ) -> None:
+        """Fail a committed ticket — or, under the retry policy, re-enqueue it.
+
+        ``machine_index`` is the *local* machine slot the command occupied
+        (the retry must resubmit to the same slot; the ticket's own
+        ``machine_index`` may have been rewritten to a global index by the
+        sharded facade).
+        """
+        policy = self.retry
+        if policy is not None and policy.enabled and cause in policy.retry_on:
+            if ticket.attempts < policy.max_attempts:
+                ticket._retry()
+                self._retry_queue.append(
+                    (self.clock.now + policy.backoff_ticks, ticket, machine_index)
+                )
+                self.retried_commands += 1
+                return
+            self.exhausted_tickets += 1
+            self._finish_fail(
+                ticket,
+                f"{reason} (attempt {ticket.attempts} of {policy.max_attempts}; "
+                "retries exhausted)",
+                FailureReason.RETRY_EXHAUSTED,
+            )
+            return
+        self._finish_fail(ticket, reason, cause)
+
     def _resolve_round(self, planned: ScheduledRound, record: ProtocolRound) -> None:
         for k, entry in enumerate(planned.entries):
             if entry is None:
                 continue  # noop padding owns no ticket
-            ticket = self._tickets_by_sequence[entry.sequence]
+            ticket = self._ticket_for_sequence(entry.sequence)
             decided = tuple(int(v) for v in np.asarray(record.commands[k]))
             if decided != ticket.command:
                 self._finish_fail(
@@ -473,15 +633,17 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
                 # round diagnostics; surface the distinct cause so clients can
                 # branch (resubmit immediately — a fresh election replaces the
                 # worker) without parsing prose.
-                self._finish_fail(
+                self._finish_round_failure(
                     ticket,
+                    k,
                     f"round {record.round_index} rejected: confirmed "
                     "delegated-verification fraud; output withheld",
                     FailureReason.DELEGATION_FRAUD,
                 )
             else:
-                self._finish_fail(
+                self._finish_round_failure(
                     ticket,
+                    k,
                     f"round {record.round_index} failed verification; output "
                     "withheld",
                     FailureReason.VERIFICATION_FAILED,
@@ -496,6 +658,14 @@ SequenceAllocator` for the ingress pool — the sharded façade passes one
         for entry in planned.entries:
             if entry is None:
                 continue
-            ticket = self._tickets_by_sequence[entry.sequence]
-            if not ticket.done:
-                self._finish_fail(ticket, reason, failure_reason)
+            ticket = self._ticket_for_sequence(entry.sequence)
+            if ticket.done:
+                continue
+            if ticket.state is TicketState.RETRYING:
+                # The aborted tick may have just re-enqueued this ticket (or
+                # be failing its resubmission); either way its backlog entry
+                # must go, or a later tick would resubmit a failed ticket.
+                self._retry_queue = [
+                    item for item in self._retry_queue if item[1] is not ticket
+                ]
+            self._finish_fail(ticket, reason, failure_reason)

@@ -39,25 +39,43 @@ shard's failed round fails only tickets scheduled on that shard.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.consensus.command_pool import SequenceAllocator
 from repro.exceptions import ConfigurationError, ServiceError
+from repro.faults import FaultReport, FaultSchedule
 from repro.rounds import ProtocolRound, RoundProtocol
 from repro.service.qos import QosPolicy
+from repro.service.retry import RetryPolicy
 from repro.service.scheduler import RoundScheduler
 from repro.service.service import ClientSession, CSMService
 from repro.service.tickets import CommandTicket, LogicalClock, ThrottleReason
 
 __all__ = [
+    "ShardHealth",
     "ShardedClientSession",
     "ShardedCSMService",
     "ShardedRound",
     "partition_machines",
 ]
+
+
+class ShardHealth(enum.Enum):
+    """Per-shard health the façade tracks from the shards' round outcomes.
+
+    A shard is ``DEGRADED`` after ``degraded_after`` consecutive failed
+    rounds; while degraded (and still backlogged) new submissions to its
+    machines are shed as ``ADMISSION_SHED`` throttles.  The backlogged
+    traffic keeps being driven as probe rounds, and the first verified
+    round restores the shard to ``HEALTHY``.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
 
 
 def partition_machines(num_machines: int, num_shards: int) -> list[int]:
@@ -130,6 +148,17 @@ class ShardedCSMService:
         ``max_session_pending`` bounds a session's unresolved tickets
         *across* shards — the façade checks the global count before routing,
         so a session cannot multiply its cap by spreading over shards.
+    retry:
+        Optional :class:`~repro.service.retry.RetryPolicy`, forwarded to
+        every shard (each shard retries its own failed rounds).
+    faults:
+        Optional fault plane: a single :class:`~repro.faults.FaultSchedule`
+        applied to *every* shard (shard backends share the node naming, so
+        one schedule models correlated faults across shards), or a mapping
+        ``{shard_index: FaultSchedule}`` targeting specific shards.
+    degraded_after:
+        Consecutive failed rounds before a shard is marked
+        :attr:`ShardHealth.DEGRADED` and starts shedding new admissions.
     """
 
     def __init__(
@@ -141,6 +170,9 @@ class ShardedCSMService:
         tick_mode: str = "all",
         pipeline: bool = False,
         qos: QosPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultSchedule | Mapping[int, FaultSchedule] | None = None,
+        degraded_after: int = 3,
     ) -> None:
         backends = list(backends)
         if not backends:
@@ -159,9 +191,27 @@ class ShardedCSMService:
             raise ConfigurationError(
                 f"qos {type(qos).__name__} is not a QosPolicy"
             )
+        if degraded_after < 1:
+            raise ConfigurationError(
+                f"degraded_after must be at least 1, got {degraded_after}"
+            )
+        if faults is None or isinstance(faults, FaultSchedule):
+            shard_faults: dict[int, FaultSchedule] = (
+                {} if faults is None else {s: faults for s in range(len(backends))}
+            )
+        else:
+            shard_faults = {int(s): schedule for s, schedule in faults.items()}
+            for shard_index in shard_faults:
+                if not 0 <= shard_index < len(backends):
+                    raise ConfigurationError(
+                        f"fault schedule targets shard {shard_index}, but "
+                        f"there are only {len(backends)} shards"
+                    )
         self.tick_mode = tick_mode
         self.pipeline = bool(pipeline)
         self.qos = qos
+        self.retry = retry
+        self.degraded_after = int(degraded_after)
         self.sequence_source = SequenceAllocator()
         # One logical clock across the shards (like the sequence allocator):
         # the façade advances it once per façade tick, so per-ticket latencies
@@ -179,8 +229,10 @@ class ShardedCSMService:
                 pipeline=self.pipeline,
                 qos=qos,
                 clock=self.clock,
+                retry=retry,
+                faults=shard_faults.get(shard_index),
             )
-            for backend in backends
+            for shard_index, backend in enumerate(backends)
         ]
         # Global machine index -> (shard, local index): shard s owns the
         # contiguous range [offset_s, offset_s + K_s).
@@ -193,6 +245,9 @@ class ShardedCSMService:
         self._sessions: dict[str, ShardedClientSession] = {}
         self._history: list[ShardedRound] = []
         self._next_shard = 0  # round-robin cursor
+        self._consecutive_failures = [0] * len(self.shards)
+        self._health = [ShardHealth.HEALTHY] * len(self.shards)
+        self._health_timeline: list[dict[str, object]] = []
 
     @classmethod
     def from_partition(
@@ -284,6 +339,9 @@ class ShardedCSMService:
         """
         shard_reports = [shard.qos_report() for shard in self.shards]
         policy = self.qos.describe() if self.qos is not None else QosPolicy().describe()
+        retry = (
+            self.retry.describe() if self.retry is not None else RetryPolicy().describe()
+        )
         return {
             "policy": policy,
             "pending": sum(int(r["pending"]) for r in shard_reports),
@@ -296,7 +354,29 @@ class ShardedCSMService:
             ),
             "tick": self.clock.now,
             "shards": shard_reports,
+            "retry": retry,
+            "retried_commands": sum(
+                int(r["retried_commands"]) for r in shard_reports
+            ),
+            "recovered_tickets": sum(
+                int(r["recovered_tickets"]) for r in shard_reports
+            ),
+            "exhausted_tickets": sum(
+                int(r["exhausted_tickets"]) for r in shard_reports
+            ),
+            "retry_backlog": sum(int(r["retry_backlog"]) for r in shard_reports),
+            "shard_health": [state.value for state in self._health],
+            "health_timeline": list(self._health_timeline),
+            "faults": self.fault_report().to_dict(),
         }
+
+    def fault_report(self) -> FaultReport:
+        """The per-shard fault reports merged into one façade-level record."""
+        return FaultReport.merge(shard.fault_report() for shard in self.shards)
+
+    def shard_health(self, shard_index: int) -> ShardHealth:
+        """Current health of one shard (see :class:`ShardHealth`)."""
+        return self._health[int(shard_index)]
 
     # -- scheduling / driving -----------------------------------------------------------
     def drive(self, flush: bool = False) -> list[ProtocolRound]:
@@ -320,29 +400,68 @@ class ShardedCSMService:
         driven: list[ProtocolRound] = []
         for shard_index in shard_order:
             records = self.shards[shard_index].drive(flush=flush)
+            self._observe_shard(shard_index, records)
             driven.extend(self._merge_records(shard_index, records))
         return driven
 
     def drain(self) -> list[ProtocolRound]:
-        """Drive until every queued command on every shard has resolved.
+        """Drive until every queued command and retry backlog has resolved.
 
         Under ``round_robin`` a tick may land on an idle shard while
         another shard still has traffic, so "no progress" only means a
-        stall once a *full cycle* of ticks has drained nothing.
+        stall once a *full cycle* of ticks has drained nothing.  Ticks that
+        only wait out a retry backoff are always progress — the shared
+        clock advances toward the backlog's (finite) ready ticks.
         """
         records: list[ProtocolRound] = []
         stalled = 0
         stall_limit = len(self.shards) if self.tick_mode == "round_robin" else 1
-        while self.pending_commands():
+        while self.pending_commands() or self._retry_backlog():
             before = self.pending_commands()
             records.extend(self.drive(flush=True))
-            if self.pending_commands() >= before:
+            if before and self.pending_commands() >= before:
                 stalled += 1
                 if stalled >= stall_limit:  # pragma: no cover - defensive
                     raise ServiceError("sharded drain made no progress")
             else:
                 stalled = 0
         return records
+
+    def _retry_backlog(self) -> int:
+        """Tickets across all shards waiting out a retry backoff."""
+        return sum(len(shard._retry_queue) for shard in self.shards)
+
+    def _observe_shard(
+        self, shard_index: int, records: Sequence[ProtocolRound]
+    ) -> None:
+        """Update the shard's health from its newly completed rounds."""
+        for record in records:
+            if record.correct:
+                self._consecutive_failures[shard_index] = 0
+                if self._health[shard_index] is ShardHealth.DEGRADED:
+                    self._health[shard_index] = ShardHealth.HEALTHY
+                    self._health_timeline.append(
+                        {
+                            "tick": self.clock.now,
+                            "shard": shard_index,
+                            "state": ShardHealth.HEALTHY.value,
+                        }
+                    )
+            else:
+                self._consecutive_failures[shard_index] += 1
+                if (
+                    self._health[shard_index] is ShardHealth.HEALTHY
+                    and self._consecutive_failures[shard_index]
+                    >= self.degraded_after
+                ):
+                    self._health[shard_index] = ShardHealth.DEGRADED
+                    self._health_timeline.append(
+                        {
+                            "tick": self.clock.now,
+                            "shard": shard_index,
+                            "state": ShardHealth.DEGRADED.value,
+                        }
+                    )
 
     def _merge_records(
         self, shard_index: int, records: Sequence[ProtocolRound]
@@ -457,6 +576,26 @@ measured_throughput` — failed rounds contribute ``0.0``, degenerate
                 )
                 ticket.machine_index = int(machine_index)
                 return ticket
+        # A degraded shard that still has a backlog (pending pool or retry
+        # queue — its probe traffic) sheds new admissions; once the backlog
+        # is gone, new submissions are admitted as probes so a verified
+        # round can restore the shard (no permanent degradation).
+        if self._health[shard_index] is ShardHealth.DEGRADED and (
+            shard.pool.total_pending() or shard._retry_queue
+        ):
+            row = shard._canonical_command(command)
+            ticket = shard._make_throttled(
+                client_id,
+                local_index,
+                row,
+                f"shard {shard_index} is degraded "
+                f"({self._consecutive_failures[shard_index]} consecutive "
+                "failed rounds) and is shedding load while its backlog "
+                "probes for recovery",
+                ThrottleReason.ADMISSION_SHED,
+            )
+            ticket.machine_index = int(machine_index)
+            return ticket
         ticket = shard._submit(client_id, local_index, command)
         # The shard pool sees its local slot; the client-facing ticket
         # reports the global machine index it submitted against.

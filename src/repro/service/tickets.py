@@ -20,10 +20,17 @@ explicit, per-command lifecycle:
     the service's :class:`~repro.service.qos.QosPolicy` rejected the submit
     before it reached the pool (per-session queue cap, or shard admission
     control) — :attr:`CommandTicket.throttle_reason` carries the
-    machine-readable cause, and the client should retry later.
+    machine-readable cause, and the client should retry later;
+``RETRYING``
+    the round failed with a retryable cause and the service's
+    :class:`~repro.service.retry.RetryPolicy` re-enqueued the command
+    instead of failing the ticket; :attr:`CommandTicket.attempts` counts
+    the drives, and the ticket re-commits (or terminally fails with
+    :attr:`FailureReason.RETRY_EXHAUSTED`) on a later tick.
 
 The only legal transitions are ``PENDING -> COMMITTED``,
-``COMMITTED -> EXECUTED | FAILED`` and the two submit-side edges
+``COMMITTED -> EXECUTED | FAILED | RETRYING``,
+``RETRYING -> COMMITTED | FAILED`` and the two submit-side edges
 ``PENDING -> FAILED`` (scheduler abort) and ``PENDING -> THROTTLED``
 (backpressure); anything else raises
 :class:`~repro.exceptions.ServiceError`.
@@ -53,6 +60,7 @@ class TicketState(enum.Enum):
     EXECUTED = "executed"
     FAILED = "failed"
     THROTTLED = "throttled"
+    RETRYING = "retrying"
 
 
 class FailureReason(enum.Enum):
@@ -81,6 +89,10 @@ class FailureReason(enum.Enum):
     #: mismatch, or a sibling slot's consensus mismatch) — the whole tick's
     #: open tickets are failed rather than stranded.
     RESOLUTION_ABORTED = "resolution-aborted"
+    #: Every one of the :class:`~repro.service.retry.RetryPolicy`'s
+    #: ``max_attempts`` drives failed with a retryable cause; the
+    #: :attr:`CommandTicket.error` prose names the final underlying cause.
+    RETRY_EXHAUSTED = "retry-exhausted"
 
 
 class ThrottleReason(enum.Enum):
@@ -104,7 +116,10 @@ _LEGAL_TRANSITIONS: dict[TicketState, frozenset[TicketState]] = {
     TicketState.PENDING: frozenset(
         {TicketState.COMMITTED, TicketState.FAILED, TicketState.THROTTLED}
     ),
-    TicketState.COMMITTED: frozenset({TicketState.EXECUTED, TicketState.FAILED}),
+    TicketState.COMMITTED: frozenset(
+        {TicketState.EXECUTED, TicketState.FAILED, TicketState.RETRYING}
+    ),
+    TicketState.RETRYING: frozenset({TicketState.COMMITTED, TicketState.FAILED}),
     TicketState.EXECUTED: frozenset(),
     TicketState.FAILED: frozenset(),
     TicketState.THROTTLED: frozenset(),
@@ -176,6 +191,9 @@ class CommandTicket:
         Logical tick at which the ticket reached a terminal state.
     state_history:
         Every state the ticket has been in, in order (starts ``PENDING``).
+    attempts:
+        How many drives have carried this command (starts at 1; each
+        ``-> RETRYING`` edge increments it).
     """
 
     client_id: str
@@ -192,6 +210,7 @@ class CommandTicket:
     committed_tick: int | None = None
     resolved_tick: int | None = None
     state_history: list[TicketState] = field(default_factory=list)
+    attempts: int = 1
 
     def __post_init__(self) -> None:
         if not self.state_history:
@@ -253,6 +272,11 @@ class CommandTicket:
         self._advance(TicketState.COMMITTED)
         self.round_index = int(round_index)
         self.committed_tick = tick
+
+    def _retry(self) -> None:
+        """Record a failed-but-retryable drive; the ticket stays live."""
+        self._advance(TicketState.RETRYING)
+        self.attempts += 1
 
     def _execute(self, output: np.ndarray, tick: int | None = None) -> None:
         self._advance(TicketState.EXECUTED)

@@ -1,0 +1,195 @@
+"""Property tests for the fault-injection plane and the self-healing service.
+
+Three contracts pin the robustness layer:
+
+1. **Standing oracle** — a service configured with retry machinery and an
+   *empty* :class:`~repro.faults.FaultSchedule` is bit-identical to the
+   plain service: same recorded history, same rng stream position, same
+   ticket lifecycle.  The fault plane must cost nothing when idle.
+2. **Liveness under admissible crashes** — any seeded random crash
+   schedule whose concurrency stays within the decoding radius leaves
+   every round verifying and every ticket ``EXECUTED``; crashed nodes are
+   erasures the decoder absorbs and resync restores.
+3. **Self-healing beyond the radius** — a corrupt burst that *does* fail
+   rounds is recovered by :class:`~repro.service.RetryPolicy` resubmission,
+   and a crashed PBFT primary is routed around by a view change.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import CSMConfig
+from repro.core.protocol import CSMProtocol
+from repro.faults import FaultSchedule
+from repro.gf.prime_field import PrimeField
+from repro.machine.library import bank_account_machine
+from repro.rng import default_stream
+from repro.service import CSMService, RetryPolicy, TicketState
+
+FIELD = PrimeField()
+
+relaxed = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: N=12, K=3, degree 1 → threshold 3, decoding radius (12-3)//2 = 4: up to
+#: four silent rows per round are correctable erasures.
+NUM_NODES = 12
+NUM_MACHINES = 3
+CRASH_RADIUS = 4
+
+
+def _protocol(seed=7, **config_kwargs):
+    machine = bank_account_machine(FIELD, num_accounts=2)
+    config = CSMConfig(
+        FIELD,
+        num_nodes=config_kwargs.pop("num_nodes", NUM_NODES),
+        num_machines=config_kwargs.pop("num_machines", NUM_MACHINES),
+        degree=machine.degree,
+        num_faults=config_kwargs.pop("num_faults", 1),
+        **config_kwargs,
+    )
+    return CSMProtocol(config, machine, rng=default_stream(seed))
+
+
+def _run_traffic(service, plan):
+    """Submit ``plan`` (one machine-index list per drive) and drain."""
+    session = service.connect("alice")
+    tickets = []
+    for round_index, machines in enumerate(plan):
+        for k in machines:
+            tickets.append(session.submit(k, [100 + 10 * round_index + k, 1]))
+        service.drive(flush=True)
+    service.drain()
+    return tickets
+
+
+class TestEmptyScheduleOracle:
+    @relaxed
+    @given(data=st.data())
+    def test_idle_fault_plane_is_bit_identical_to_plain_service(self, data):
+        num_rounds = data.draw(st.integers(1, 4), label="rounds")
+        plan = [
+            data.draw(
+                st.lists(
+                    st.integers(0, NUM_MACHINES - 1),
+                    min_size=1,
+                    max_size=NUM_MACHINES,
+                    unique=True,
+                ),
+                label=f"round-{r}",
+            )
+            for r in range(num_rounds)
+        ]
+        seed = data.draw(st.integers(0, 2**31), label="seed")
+
+        plain = _protocol(seed=seed)
+        plain_service = CSMService(plain)
+        plain_tickets = _run_traffic(plain_service, plan)
+
+        guarded = _protocol(seed=seed)
+        guarded_service = CSMService(
+            guarded,
+            retry=RetryPolicy(max_attempts=3, backoff_ticks=1),
+            faults=FaultSchedule(),
+        )
+        guarded_tickets = _run_traffic(guarded_service, plan)
+
+        assert len(plain.history) == len(guarded.history)
+        for a, b in zip(plain.history, guarded.history):
+            assert np.array_equal(a.commands, b.commands)
+            assert a.clients == b.clients
+            assert a.consensus_views == b.consensus_views
+            assert np.array_equal(a.result.outputs, b.result.outputs)
+            assert np.array_equal(a.result.states, b.result.states)
+            assert a.result.correct and b.result.correct
+            assert a.result.diagnostics == b.result.diagnostics
+            assert a.result.ops_per_node == b.result.ops_per_node
+        assert plain.rng.bit_generator.state == guarded.rng.bit_generator.state
+        for t_plain, t_guarded in zip(plain_tickets, guarded_tickets):
+            assert t_plain.state is t_guarded.state is TicketState.EXECUTED
+            assert t_guarded.attempts == 1
+            assert np.array_equal(t_plain.result(), t_guarded.result())
+            assert t_plain.submitted_tick == t_guarded.submitted_tick
+            assert t_plain.resolved_tick == t_guarded.resolved_tick
+        report = guarded_service.fault_report()
+        assert report.injected_events == 0
+        assert report.applied_events == 0
+
+
+class TestRandomCrashLiveness:
+    @relaxed
+    @given(
+        schedule_seed=st.integers(0, 2**31),
+        concurrency=st.integers(1, CRASH_RADIUS),
+        rounds=st.integers(2, 5),
+    )
+    def test_admissible_crash_schedules_keep_every_ticket_live(
+        self, schedule_seed, concurrency, rounds
+    ):
+        schedule = FaultSchedule.random(
+            default_stream(schedule_seed),
+            [f"node-{i}" for i in range(NUM_NODES)],
+            num_rounds=rounds,
+            max_concurrent=concurrency,
+            fault_probability=0.6,
+            kinds=("crash",),
+        )
+        protocol = _protocol(seed=3)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=3, backoff_ticks=1),
+            faults=schedule,
+        )
+        plan = [list(range(NUM_MACHINES))] * rounds
+        tickets = _run_traffic(service, plan)
+        # Crashes within the radius are erasures, never failed rounds:
+        # liveness here means normal execution plus resync, no retries.
+        assert protocol.failed_rounds == 0
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        report = service.fault_report()
+        assert report.injected_events == len(schedule.events)
+        assert report.applied_events + report.pending_events == len(schedule.events)
+
+
+class TestSelfHealing:
+    def test_corrupt_burst_beyond_radius_is_retried_to_completion(self):
+        schedule = FaultSchedule()
+        for i in range(CRASH_RADIUS + 1):
+            schedule.behavior(f"node-{i}", "corrupt", at=1, until=3)
+        protocol = _protocol(seed=3)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+            faults=schedule,
+        )
+        tickets = _run_traffic(service, [list(range(NUM_MACHINES))] * 4)
+        assert protocol.failed_rounds == 2
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        report = service.fault_report()
+        assert report.applied_events == report.injected_events
+        assert report.recovered_tickets > 0
+        assert report.exhausted_tickets == 0
+
+    def test_crashed_pbft_primary_is_routed_around_by_view_change(self):
+        # Under partial synchrony the primary of round r at view v is
+        # node_ids[(r + v) % N]; crashing node-0 over rounds [0, 2) forces
+        # round 0 through a view change while round 1 (primary node-1)
+        # decides at view 0 with the node still down.
+        schedule = FaultSchedule().crash("node-0", at=0, until=2)
+        protocol = _protocol(
+            seed=5, num_nodes=8, num_machines=2, partially_synchronous=True
+        )
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=3, backoff_ticks=1),
+            faults=schedule,
+        )
+        tickets = _run_traffic(service, [[0, 1]] * 3)
+        assert protocol.failed_rounds == 0
+        assert protocol.history[0].consensus_views >= 1
+        assert protocol.history[1].consensus_views == 0
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        report = service.fault_report()
+        assert report.applied_events == len(schedule.events)
+        assert report.crashed_nodes == []

@@ -226,3 +226,38 @@ class TestServiceIntegration:
         # Nothing was ever delivered from a voided round.
         assert protocol.delivered_outputs == {}
         assert set(protocol.failed_deliveries) == {"alice"}
+
+    def test_fraud_round_retries_onto_a_fresh_worker(self, machine):
+        from repro.service import RetryPolicy
+
+        # Learn which worker the seed elects first, then make only that
+        # node a cheater: its one fraudulent round must not be terminal.
+        probe = _protocol(machine)
+        probe.run_rounds_batched(_commands(machine, 1))
+        cheater = probe.history[0].result.diagnostics["worker"]
+
+        protocol = _protocol(
+            machine,
+            worker_strategies={cheater: WorkerStrategy.CORRUPT_RESULT},
+        )
+        service = CSMService(
+            protocol, retry=RetryPolicy(max_attempts=3, backoff_ticks=1)
+        )
+        session = service.connect("alice")
+        tickets = [session.submit(k, [20 + k, 1]) for k in range(NUM_MACHINES)]
+        service.drain()
+        # The cheater's round was convicted, the batch was auto-resubmitted,
+        # and the re-election banned the convicted worker.
+        assert protocol.failed_rounds == 1
+        assert cheater in protocol.convicted_workers
+        workers = [r.result.diagnostics["worker"] for r in protocol.history]
+        assert workers[0] == cheater
+        assert all(w != cheater for w in workers[1:])
+        for ticket in tickets:
+            assert ticket.state is TicketState.EXECUTED
+            assert ticket.attempts == 2
+            assert TicketState.RETRYING in ticket.state_history
+        report = service.qos_report()
+        assert report["retried_commands"] == NUM_MACHINES
+        assert report["recovered_tickets"] == NUM_MACHINES
+        assert report["exhausted_tickets"] == 0

@@ -577,3 +577,112 @@ class TestLogicalTimestamps:
         assert ticket.state is TicketState.EXECUTED
         assert ticket.commit_latency == 3
         assert ticket.execute_latency == 3
+
+
+class TestRetryPolicy:
+    """The self-healing layer: failed rounds re-enqueue instead of failing."""
+
+    def _corrupt_burst(self, at, until=None, nodes=5):
+        # Five corrupt rows exceed the N=12, K=3 decode radius (4), so the
+        # burst rounds fail verification while consensus still decides.
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule()
+        for i in range(nodes):
+            schedule.behavior(f"node-{i}", "corrupt", at=at, until=until)
+        return schedule
+
+    def test_policy_validation(self):
+        from repro.service import RetryPolicy
+
+        assert not RetryPolicy().enabled
+        assert RetryPolicy(max_attempts=2).enabled
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_ticks=-1)
+
+    def test_burst_failures_recover_within_max_attempts(self, big_field):
+        from repro.service import RetryPolicy
+
+        protocol = _csm_protocol(big_field)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=4, backoff_ticks=1),
+            faults=self._corrupt_burst(at=1, until=3),
+        )
+        session = service.connect("alice")
+        tickets = [
+            session.submit(k, [10 + r, k]) for r in range(4) for k in range(3)
+        ]
+        service.drain()
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        retried = [t for t in tickets if t.attempts > 1]
+        assert retried, "the burst rounds' tickets must have retried"
+        for ticket in retried:
+            assert TicketState.RETRYING in ticket.state_history
+        report = service.qos_report()
+        assert report["retried_commands"] == len(retried)
+        assert report["recovered_tickets"] == len(retried)
+        assert report["exhausted_tickets"] == 0
+        assert report["retry_backlog"] == 0
+
+    def test_exhausted_retries_fail_with_distinct_reason(self, big_field):
+        from repro.service import RetryPolicy
+
+        protocol = _csm_protocol(big_field)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=2, backoff_ticks=1),
+            faults=self._corrupt_burst(at=0),  # permanent corruption
+        )
+        ticket = service.connect("alice").submit(0, [5, 5])
+        service.drain()
+        assert ticket.state is TicketState.FAILED
+        assert ticket.failure_reason is FailureReason.RETRY_EXHAUSTED
+        assert ticket.attempts == 2
+        assert "retries exhausted" in ticket.error
+        assert service.qos_report()["exhausted_tickets"] == 1
+
+    def test_disabled_policy_fails_fast(self, big_field):
+        from repro.service import RetryPolicy
+
+        protocol = _csm_protocol(big_field)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=1),
+            faults=self._corrupt_burst(at=0, until=2),
+        )
+        ticket = service.connect("alice").submit(0, [5, 5])
+        service.drain()
+        assert ticket.state is TicketState.FAILED
+        assert ticket.failure_reason is FailureReason.VERIFICATION_FAILED
+        assert ticket.attempts == 1
+
+    def test_backoff_holds_the_retry_in_the_backlog(self, big_field):
+        from repro.service import RetryPolicy
+
+        protocol = _csm_protocol(big_field)
+        service = CSMService(
+            protocol,
+            retry=RetryPolicy(max_attempts=3, backoff_ticks=4),
+            faults=self._corrupt_burst(at=0, until=1),
+        )
+        ticket = service.connect("alice").submit(0, [5, 5])
+        service.drive(flush=True)  # tick 1: the burst round fails, re-enqueue
+        assert ticket.state is TicketState.RETRYING
+        assert service.qos_report()["retry_backlog"] == 1
+        # ready at tick 1 + 4 = 5: ticks 2..4 only wait out the backoff
+        for _ in range(3):
+            assert service.drive(flush=True) == []
+            assert ticket.state is TicketState.RETRYING
+        service.drain()  # tick 5 resubmits and executes
+        assert ticket.state is TicketState.EXECUTED
+        assert ticket.attempts == 2
+
+    def test_report_blocks_present_without_policy(self, big_field):
+        service = CSMService(_csm_protocol(big_field))
+        report = service.qos_report()
+        assert report["retry"]["enabled"] is False
+        assert report["retried_commands"] == 0
+        assert report["faults"]["injected_events"] == 0

@@ -319,3 +319,87 @@ class TestShardedPipeline:
             assert bat.result.correct == pip.result.correct
         for bat, pip in zip(batched.tickets(), pipelined.tickets()):
             assert bat.sequence == pip.sequence and bat.state is pip.state
+
+
+class TestShardHealth:
+    """Per-shard health tracking: degradation, shedding, probe recovery."""
+
+    def _burst(self, at, until, nodes=4):
+        # Four corrupt rows exceed the N=8, K=2 decode radius (3).
+        from repro.faults import FaultSchedule
+
+        schedule = FaultSchedule()
+        for i in range(nodes):
+            schedule.behavior(f"node-{i}", "corrupt", at=at, until=until)
+        return schedule
+
+    def test_degraded_shard_sheds_then_probes_back_to_health(self, big_field):
+        from repro.service import RetryPolicy, ShardHealth
+
+        service = ShardedCSMService(
+            [_csm_backend(big_field, seed=0), _csm_backend(big_field, seed=1)],
+            retry=RetryPolicy(max_attempts=5, backoff_ticks=1),
+            faults={1: self._burst(at=0, until=3)},
+            degraded_after=2,
+        )
+        session = service.connect("alice")
+        doomed = [session.submit(2, [10 + r, 0]) for r in range(3)]
+        service.drive(flush=True)  # shard 1 fails rounds 0..2 consecutively
+        assert service.shard_health(0) is ShardHealth.HEALTHY
+        assert service.shard_health(1) is ShardHealth.DEGRADED
+        # while the retry backlog probes, new admissions to shard 1 are shed
+        shed = session.submit(2, [99, 0])
+        assert shed.state is TicketState.THROTTLED
+        # ...but shard 0 still admits
+        fine = session.submit(0, [7, 7])
+        assert fine.state is TicketState.PENDING
+        service.drain()
+        assert all(t.state is TicketState.EXECUTED for t in doomed)
+        assert fine.state is TicketState.EXECUTED
+        assert service.shard_health(1) is ShardHealth.HEALTHY
+        timeline = service.qos_report()["health_timeline"]
+        assert [entry["state"] for entry in timeline if entry["shard"] == 1] == [
+            "degraded",
+            "healthy",
+        ]
+
+    def test_degraded_shard_without_backlog_admits_probes(self, big_field):
+        from repro.service import ShardHealth
+
+        node_ids = [f"node-{i}" for i in range(4)]
+        bad = {n: RandomGarbageBehavior() for n in node_ids[:3]}
+        service = ShardedCSMService(
+            [
+                _replication_backend(big_field, seed=0),
+                _replication_backend(big_field, behaviors=bad, seed=1),
+            ],
+            degraded_after=1,
+        )
+        doomed = service.connect("bob").submit(2, [9, 9])
+        service.drain()
+        assert doomed.state is TicketState.FAILED
+        assert service.shard_health(1) is ShardHealth.DEGRADED
+        # no backlog is left, so the next submission is admitted as a probe
+        probe = service.connect("bob").submit(2, [4, 4])
+        assert probe.state is TicketState.PENDING
+
+    def test_facade_merges_shard_fault_reports(self, big_field):
+        from repro.service import RetryPolicy
+
+        schedule = self._burst(at=0, until=1)
+        service = ShardedCSMService(
+            [_csm_backend(big_field, seed=0), _csm_backend(big_field, seed=1)],
+            retry=RetryPolicy(max_attempts=3, backoff_ticks=1),
+            faults={1: schedule},
+        )
+        session = service.connect("alice")
+        tickets = [session.submit(k, [5, k]) for k in range(4)]
+        service.drain()
+        assert all(t.state is TicketState.EXECUTED for t in tickets)
+        report = service.fault_report()
+        assert report.injected_events == len(schedule.events)
+        assert report.applied_events == len(schedule.events)
+        assert report.recovered_tickets >= 1
+        merged = service.qos_report()
+        assert merged["faults"]["injected_events"] == report.injected_events
+        assert merged["shard_health"] == ["healthy", "healthy"]
